@@ -1,0 +1,1 @@
+bench/common.ml: Benchkit Driver Glassdb_util List Option Printf Report System Tpcc Unix Ycsb

@@ -1,0 +1,1 @@
+bench/macro.ml: Adapters Array Benchkit Common Driver Glassdb_util Hashtbl List Option Printf Raft Report Sim System Tpcc Ycsb

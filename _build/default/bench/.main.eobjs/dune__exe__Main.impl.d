@@ -1,0 +1,1 @@
+bench/main.ml: Analyze Arg Bechamel Benchmark Cmd Cmdliner Common Glassdb_util Hashtbl List Macro Measure Micro Mtree Postree Printf Staged Storage String Term Test Time Toolkit Unix

@@ -1,0 +1,1 @@
+bench/micro.ml: Adapters Benchkit Common Driver Glassdb Glassdb_util Hashtbl Ledgerdb List Mtree Option Printf Qldb Report Sim Storage Trillian Txnkit Ycsb

@@ -1,0 +1,81 @@
+(* Shared configuration and helpers for the benchmark suite.
+
+   Every experiment prints one table in the shape of the paper's figure or
+   table it reproduces.  Scale factors are far below the paper's 32-machine
+   testbed (see DESIGN.md §4): the `quick` profile further shrinks sweeps
+   so the whole suite stays interactive. *)
+
+open Benchkit
+
+type profile = {
+  duration : float;
+  warmup : float;
+  shards : int;         (* the "16 node" experiments *)
+  clients_peak : int;
+  clients_sweep : int list;
+  records : int;
+  tpcc : Tpcc.config;
+}
+
+let full =
+  { duration = 1.2;
+    warmup = 0.3;
+    shards = 8;
+    clients_peak = 48;
+    clients_sweep = [ 8; 16; 32; 48; 64 ];
+    records = 6000;
+    tpcc = { Tpcc.warehouses = 8; districts = 4; customers = 20; items = 200 } }
+
+let quick =
+  { duration = 0.8;
+    warmup = 0.2;
+    shards = 4;
+    clients_peak = 24;
+    clients_sweep = [ 8; 16; 24 ];
+    records = 3000;
+    tpcc = { Tpcc.warehouses = 4; districts = 2; customers = 10; items = 100 } }
+
+let profile = ref full
+
+let params ?shards ?(persist_interval = 0.05) ?(verify_delay = 0.1) () =
+  { System.default_params with
+    System.shards = Option.value ~default:!profile.shards shards;
+    persist_interval;
+    verify_delay }
+
+let ycsb ?records ?(mix = Ycsb.Balanced) ?(theta = 0.) ?(ops = 10) () =
+  { Ycsb.default_config with
+    Ycsb.record_count = Option.value ~default:!profile.records records;
+    mix;
+    theta;
+    ops_per_txn = ops }
+
+let setup ?clients ?duration sys params =
+  { Driver.sys;
+    params;
+    clients = Option.value ~default:!profile.clients_peak clients;
+    duration = Option.value ~default:!profile.duration duration;
+    warmup = !profile.warmup;
+    seed = 42 }
+
+let phase_mean stats name =
+  match List.assoc_opt name stats with
+  | Some s -> Glassdb_util.Stats.mean s
+  | None -> 0.
+
+let throughput_row (r : Driver.result) =
+  [ r.Driver.r_name;
+    Report.f0 r.Driver.r_throughput;
+    Printf.sprintf "%.1f%%" (100. *. r.Driver.r_abort_rate) ]
+
+let check_no_failures (r : Driver.result) =
+  if r.Driver.r_failures > 0 then
+    Printf.printf "!! %s reported %d proof-verification failures\n"
+      r.Driver.r_name r.Driver.r_failures
+
+let say fmt = Printf.printf fmt
+
+let timed name f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  Printf.printf "   [%s took %.1fs wall]\n%!" name (Unix.gettimeofday () -. t0)

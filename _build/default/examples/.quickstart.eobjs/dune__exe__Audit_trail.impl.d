@@ -1,0 +1,1 @@
+examples/audit_trail.ml: Glassdb List Printf Sim Txnkit

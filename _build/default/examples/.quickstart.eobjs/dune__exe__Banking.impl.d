@@ -1,0 +1,1 @@
+examples/banking.ml: Glassdb Glassdb_util List Option Printf Sim

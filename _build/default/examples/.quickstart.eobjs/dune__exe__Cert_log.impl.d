@@ -1,0 +1,1 @@
+examples/cert_log.ml: Glassdb_util List Printf Sim Trillian

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Glassdb List Option Printf Sim

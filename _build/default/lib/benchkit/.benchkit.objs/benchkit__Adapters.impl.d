@@ -1,0 +1,1 @@
+lib/benchkit/adapters.ml: Array Codec Cost Glassdb Glassdb_util Hashtbl Ledgerdb List Net Printf Qldb Sim Stats String System Trillian Txnkit Work

@@ -1,0 +1,1 @@
+lib/benchkit/driver.ml: Format Glassdb_util List Option Rng Sim Stats System Ycsb

@@ -1,0 +1,1 @@
+lib/benchkit/driver.mli: Format Glassdb_util Rng Stats Stdlib System Ycsb

@@ -1,0 +1,1 @@
+lib/benchkit/report.ml: List Option Printf String

@@ -1,0 +1,1 @@
+lib/benchkit/system.ml: Glassdb_util Stats Txnkit

@@ -1,0 +1,1 @@
+lib/benchkit/system.mli: Glassdb_util Stats Txnkit

@@ -1,0 +1,1 @@
+lib/benchkit/tpcc.ml: Glassdb_util Hashtbl List Option Printf Rng String System

@@ -1,0 +1,1 @@
+lib/benchkit/tpcc.mli: Glassdb_util Rng System

@@ -1,0 +1,1 @@
+lib/benchkit/ycsb.ml: Glassdb_util Hashtbl List Printf Rng String System Txnkit Zipf

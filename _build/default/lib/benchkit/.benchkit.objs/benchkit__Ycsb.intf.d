@@ -1,0 +1,1 @@
+lib/benchkit/ycsb.mli: Glassdb_util Rng System Txnkit

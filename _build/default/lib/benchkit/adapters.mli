@@ -1,0 +1,17 @@
+(** Per-system adapters onto the {!System} interface.
+
+    The GlassDB ablations of Figure 8 are expressed through
+    {!System.params}: [sync_persist = true] removes deferred verification
+    (GlassDB-no-DV-no-BA when combined with [batching = false]);
+    [batching = false] alone gives GlassDB-no-BA. *)
+
+val glassdb : System.sysdef
+val glassdb_no_ba : System.sysdef
+val glassdb_no_dv_no_ba : System.sysdef
+val qldb : System.sysdef
+val ledgerdb : System.sysdef
+val trillian : System.sysdef
+(** Single node; [params.shards] is ignored and transactional ops fail. *)
+
+val all_transactional : System.sysdef list
+(** GlassDB, LedgerDB*, QLDB* — the systems compared on YCSB/TPC-C. *)

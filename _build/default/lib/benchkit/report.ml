@@ -1,0 +1,34 @@
+let f2 v = Printf.sprintf "%.2f" v
+let f0 v = Printf.sprintf "%.0f" v
+let us v = Printf.sprintf "%.1f" (v *. 1e6)
+let ms v = Printf.sprintf "%.2f" (v *. 1e3)
+let kb b = Printf.sprintf "%.2f" (float_of_int b /. 1024.)
+let mb b = Printf.sprintf "%.2f" (float_of_int b /. 1024. /. 1024.)
+
+let table ~title ?note ~header rows =
+  let all = header :: rows in
+  let cols = List.fold_left (fun m r -> max m (List.length r)) 0 all in
+  let width c =
+    List.fold_left
+      (fun m row ->
+        match List.nth_opt row c with
+        | Some cell -> max m (String.length cell)
+        | None -> m)
+      0 all
+  in
+  let widths = List.init cols width in
+  let render row =
+    String.concat "  "
+      (List.mapi
+         (fun c w ->
+           let cell = Option.value ~default:"" (List.nth_opt row c) in
+           Printf.sprintf "%*s" w cell)
+         widths)
+  in
+  Printf.printf "\n== %s ==\n" title;
+  (match note with Some n -> Printf.printf "   %s\n" n | None -> ());
+  let header_line = render header in
+  print_endline header_line;
+  print_endline (String.make (String.length header_line) '-');
+  List.iter (fun r -> print_endline (render r)) rows;
+  flush stdout

@@ -1,0 +1,28 @@
+(** Plain-text table rendering for the benchmark output: every figure and
+    table of the paper is printed as one captioned table with aligned
+    columns. *)
+
+val table :
+  title:string ->
+  ?note:string ->
+  header:string list ->
+  string list list ->
+  unit
+(** Print a captioned, column-aligned table to stdout. *)
+
+val f2 : float -> string
+(** Two decimals. *)
+
+val f0 : float -> string
+(** Rounded integer rendering. *)
+
+val us : float -> string
+(** Seconds rendered as microseconds. *)
+
+val ms : float -> string
+(** Seconds rendered as milliseconds. *)
+
+val kb : int -> string
+(** Bytes rendered as KB with two decimals. *)
+
+val mb : int -> string

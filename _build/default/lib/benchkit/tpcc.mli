@@ -1,0 +1,45 @@
+(** Extended TPC-C (Section 4.2).
+
+    Tables are mapped onto the key-value stores as
+    [<ColumnName_PrimaryKey, FieldValue>] pairs, with rarely-updated fields
+    combined (e.g. customer names), exactly as Section 5.5 describes.  All
+    five standard transactions get verified variants (their writes are
+    scheduled for deferred verification), plus the new
+    VerifiedWarehouseBalance, which retrieves the last 10 versions of
+    [w_ytd] — possible only because ledger databases keep all history.
+
+    The standard mix is NewOrder 42%, Payment 42%, and 4% for each of the
+    other four types.  Scale parameters default far below the TPC-C spec
+    (3000 customers/district, 100k items) to keep simulated runs tractable;
+    the access skew structure is preserved. *)
+
+open Glassdb_util
+
+type config = {
+  warehouses : int;
+  districts : int;            (** per warehouse (spec: 10) *)
+  customers : int;            (** per district (spec: 3000) *)
+  items : int;                (** global (spec: 100000) *)
+}
+
+val default_config : config
+
+val load : System.client -> config -> unit
+
+type txn_kind =
+  | New_order
+  | Payment
+  | Order_status
+  | Delivery
+  | Stock_level
+  | Warehouse_balance
+
+val kind_name : txn_kind -> string
+val all_kinds : txn_kind list
+
+val pick_kind : Rng.t -> txn_kind
+(** Standard mix: 42/42/4/4/4/4. *)
+
+val run_txn :
+  System.client -> Rng.t -> config -> txn_kind -> (unit, string) result
+(** Execute one verified transaction of the given kind. *)

@@ -1,0 +1,1 @@
+lib/core/auditor.ml: Array Cluster Cost Glassdb_util Hash Hashtbl Ledger List Node Postree Sim Storage String Txnkit

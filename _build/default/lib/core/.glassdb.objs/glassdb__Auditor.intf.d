@@ -1,0 +1,1 @@
+lib/core/auditor.mli: Cluster Ledger Txnkit

@@ -1,0 +1,1 @@
+lib/core/client.ml: Array Cluster Cost Hashtbl Ledger List Node Option Sim String Txnkit

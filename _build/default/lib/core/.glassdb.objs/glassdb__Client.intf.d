@@ -1,0 +1,1 @@
+lib/core/client.mli: Cluster Ledger Node Txnkit

@@ -1,0 +1,1 @@
+lib/core/cluster.ml: Array Cost Float Glassdb_util Ledger Net Node Sim Storage Txnkit

@@ -1,0 +1,1 @@
+lib/core/ledger.ml: Buffer Char Codec Format Glassdb_util Hash Hashtbl Int List Map Option Postree Storage String Txnkit

@@ -1,0 +1,1 @@
+lib/core/ledger.mli: Buffer Codec Format Glassdb_util Hash Postree Storage Txnkit

@@ -1,0 +1,1 @@
+lib/core/node.ml: Codec Cost Glassdb_util Hashtbl Ledger List Option Queue Sim Stats Storage Txnkit

@@ -1,0 +1,1 @@
+lib/core/node.mli: Cost Glassdb_util Ledger Sim Stats Storage Txnkit

@@ -1,0 +1,437 @@
+module Kv = Txnkit.Kv
+
+type config = {
+  rpc_timeout : float;
+  verify_delay : float;
+}
+
+let default_client_config = { rpc_timeout = 1.0; verify_delay = 0.1 }
+
+type pending = { due : float; promise : Node.promise }
+
+type t = {
+  cid : int;
+  sk : string;
+  cluster : Cluster.t;
+  cfg : config;
+  mutable seq : int;
+  digests : Ledger.digest array;
+  mutable pending : pending list;
+  mutable failures : int;
+}
+
+let create ?(config = default_client_config) cluster ~id ~sk =
+  { cid = id;
+    sk;
+    cluster;
+    cfg = config;
+    seq = 0;
+    digests = Array.make (Cluster.shards cluster) Ledger.genesis;
+    pending = [];
+    failures = 0 }
+
+let id t = t.cid
+let public_key t = t.sk
+let digest_of_shard t s = t.digests.(s)
+let verification_failures t = t.failures
+let pending_verifications t = List.length t.pending
+
+(* Accept a new digest only when the server proves it extends the cached
+   one; otherwise count a detected violation and keep the old digest. *)
+let advance_digest t shard ~proof new_digest =
+  let old_digest = t.digests.(shard) in
+  if Ledger.verify_append_only ~old_digest ~new_digest proof then begin
+    if new_digest.Ledger.block_no > old_digest.Ledger.block_no then
+      t.digests.(shard) <- new_digest;
+    true
+  end
+  else begin
+    t.failures <- t.failures + 1;
+    false
+  end
+
+(* Users gossip digests with each other (Section 2.2 / 3.4.2): for every
+   shard, the fresher party's digest must extend the staler one's, with the
+   server supplying the append-only proof.  False = a fork between the two
+   views was detected. *)
+let gossip a b =
+  let shards = Cluster.shards a.cluster in
+  let ok = ref true in
+  for s = 0 to shards - 1 do
+    let da = a.digests.(s) and db = b.digests.(s) in
+    let ahead, behind, behind_client =
+      if da.Ledger.block_no >= db.Ledger.block_no then (da, db, b)
+      else (db, da, a)
+    in
+    (* A genesis view extends to anything (the server returns the trivial
+       proof); only skip when both views already agree. *)
+    if ahead.Ledger.block_no >= 0 && not (Ledger.digest_equal ahead behind)
+    then begin
+      match
+        Cluster.call a.cluster ~shard:s ~req_bytes:64
+          ~resp_bytes:Ledger.append_proof_size_bytes
+          (fun nd -> Node.prove_append_only nd ~old_block:behind.Ledger.block_no)
+      with
+      | None -> ()
+      | Some proof ->
+        if
+          Ledger.verify_append_only ~old_digest:behind ~new_digest:ahead proof
+        then behind_client.digests.(s) <- ahead
+        else begin
+          ok := false;
+          a.failures <- a.failures + 1
+        end
+    end
+  done;
+  !ok
+
+(* --- transactions --- *)
+
+exception Abort of string
+
+type handle = {
+  client : t;
+  tid : Kv.txn_id;
+  mutable reads : (Kv.key * Kv.version) list;
+  buffer : (Kv.key, Kv.value) Hashtbl.t;
+  mutable write_order : Kv.key list; (* newest first *)
+}
+
+let fresh_handle t =
+  t.seq <- t.seq + 1;
+  { client = t;
+    tid = Kv.txn_id ~client:t.cid ~seq:t.seq;
+    reads = [];
+    buffer = Hashtbl.create 8;
+    write_order = [] }
+
+let get h key =
+  match Hashtbl.find_opt h.buffer key with
+  | Some v -> Some v (* read-your-writes *)
+  | None ->
+    let t = h.client in
+    let shard = Cluster.shard_of_key t.cluster key in
+    (match
+       Cluster.call t.cluster ~shard
+         ~req_bytes:(String.length key + 16)
+         ~resp_bytes:(fun r ->
+           match r with Some (v, _) -> String.length v + 16 | None -> 16)
+         (fun nd -> Node.get nd key)
+     with
+     | None -> raise (Abort "read timeout")
+     | Some None ->
+       h.reads <- (key, -1) :: h.reads;
+       None
+     | Some (Some (v, version)) ->
+       h.reads <- (key, version) :: h.reads;
+       Some v)
+
+let put h key value =
+  if not (Hashtbl.mem h.buffer key) then h.write_order <- key :: h.write_order;
+  Hashtbl.replace h.buffer key value
+
+let rw_sets_by_shard h =
+  let t = h.client in
+  let tbl = Hashtbl.create 8 in
+  let touch shard =
+    match Hashtbl.find_opt tbl shard with
+    | Some rw -> rw
+    | None ->
+      let rw = (ref [], ref []) in
+      Hashtbl.replace tbl shard rw;
+      rw
+  in
+  List.iter
+    (fun (k, ver) ->
+      let reads, _ = touch (Cluster.shard_of_key t.cluster k) in
+      reads := (k, ver) :: !reads)
+    h.reads;
+  List.iter
+    (fun k ->
+      let _, writes = touch (Cluster.shard_of_key t.cluster k) in
+      writes := (k, Hashtbl.find h.buffer k) :: !writes)
+    (List.rev h.write_order);
+  Hashtbl.fold
+    (fun shard (reads, writes) acc ->
+      (shard, { Kv.reads = !reads; writes = !writes }) :: acc)
+    tbl []
+
+(* Fan an RPC out to several shards and join all answers (None on any
+   timeout). *)
+let fan_out t calls =
+  let ivs =
+    List.map
+      (fun (shard, call) ->
+        let iv = Sim.Ivar.create () in
+        Sim.spawn (fun () -> Sim.Ivar.fill iv (call ()));
+        (shard, iv))
+      calls
+  in
+  List.map
+    (fun (shard, iv) ->
+      match Sim.Ivar.read_timeout iv (t.cfg.rpc_timeout *. 2.) with
+      | Some v -> (shard, v)
+      | None -> (shard, None))
+    ivs
+
+let execute t body =
+  let h = fresh_handle t in
+  match body h with
+  | exception Abort reason -> Error reason
+  | value ->
+    let per_shard = rw_sets_by_shard h in
+    if per_shard = [] then Ok (value, [])
+    else begin
+      (* Prepare round.  The transaction is signed once over its whole
+         read/write set; every shard validates only its own slice but
+         stores the full signed transaction for auditing. *)
+      let full_rw =
+        { Kv.reads = List.rev h.reads;
+          writes =
+            List.rev_map (fun k -> (k, Hashtbl.find h.buffer k)) h.write_order }
+      in
+      let stxn = Kv.sign ~sk:t.sk ~tid:h.tid ~client:t.cid full_rw in
+      let verdicts =
+        fan_out t
+          (List.map
+             (fun (shard, rw) ->
+               ( shard,
+                 fun () ->
+                   Cluster.call t.cluster ~phase:("prepare", 1) ~shard
+                     ~req_bytes:(Kv.signed_txn_bytes stxn)
+                     ~resp_bytes:(fun _ -> 8)
+                     (fun nd -> Node.prepare nd ~rw stxn) ))
+             per_shard)
+      in
+      let all_ok =
+        List.for_all
+          (function _, Some Txnkit.Occ.Ok -> true | _ -> false)
+          verdicts
+      in
+      if all_ok then begin
+        let promise_lists =
+          fan_out t
+            (List.map
+               (fun (shard, _) ->
+                 ( shard,
+                   fun () ->
+                     Cluster.call t.cluster ~phase:("commit", 1) ~shard
+                       ~req_bytes:32
+                       ~resp_bytes:(fun ps -> 16 + (48 * List.length ps))
+                       (fun nd -> Node.commit nd h.tid) ))
+               per_shard)
+        in
+        let promises =
+          List.concat_map
+            (function _, Some ps -> ps | _, None -> [])
+            promise_lists
+        in
+        Ok (value, promises)
+      end
+      else begin
+        (* Abort round (best effort; timeouts ignored). *)
+        ignore
+          (fan_out t
+             (List.map
+                (fun (shard, _) ->
+                  ( shard,
+                    fun () ->
+                      Cluster.call t.cluster ~shard ~req_bytes:32
+                        ~resp_bytes:(fun _ -> 8)
+                        (fun nd -> Node.abort nd h.tid; ()) ))
+                per_shard));
+        let reason =
+          List.fold_left
+            (fun acc (_, v) ->
+              match v with
+              | Some (Txnkit.Occ.Conflict r) -> r
+              | None -> "prepare timeout"
+              | Some Txnkit.Occ.Ok -> acc)
+            "conflict" verdicts
+        in
+        Error reason
+      end
+    end
+
+(* --- verified operations --- *)
+
+type verification = {
+  v_ok : bool;
+  v_proof_bytes : int;
+  v_latency : float;
+  v_keys : int;
+}
+
+let queue_promises t promises =
+  let due = Sim.now () +. t.cfg.verify_delay in
+  t.pending <-
+    List.fold_left (fun acc p -> { due; promise = p } :: acc) t.pending promises
+
+let verified_put t key value =
+  match execute t (fun h -> put h key value) with
+  | Error e -> Error e
+  | Ok ((), []) -> Error "no promise returned"
+  | Ok ((), promise :: _) ->
+    t.pending <-
+      { due = Sim.now () +. t.cfg.verify_delay; promise } :: t.pending;
+    Ok promise
+
+let check_read t shard key expected (vr : Node.verified_read) ~current =
+  let started = Sim.now () in
+  let ok, _cost =
+    Cost.charged_time Cost.default (fun () ->
+        let append_ok = advance_digest t shard ~proof:vr.Node.vr_append vr.Node.vr_digest in
+        let d = vr.Node.vr_digest in
+        let value_ok =
+          if current then
+            Ledger.verify_current ~digest:d ~key ~value:vr.Node.vr_value
+              vr.Node.vr_proof
+          else
+            Ledger.verify_inclusion ~digest:d ~key ~value:vr.Node.vr_value
+              vr.Node.vr_proof
+        in
+        append_ok && value_ok)
+  in
+  if not ok then t.failures <- t.failures + 1;
+  ignore expected;
+  { v_ok = ok;
+    v_proof_bytes =
+      Ledger.proof_size_bytes vr.Node.vr_proof
+      + Ledger.append_proof_size_bytes vr.Node.vr_append;
+    v_latency = Sim.now () -. started;
+    v_keys = 1 }
+
+let verified_get_latest t key =
+  let shard = Cluster.shard_of_key t.cluster key in
+  let from = t.digests.(shard) in
+  let started = Sim.now () in
+  match
+    Cluster.call t.cluster ~shard ~req_bytes:(String.length key + 64)
+      ~resp_bytes:(fun r ->
+        match r with
+        | Some vr ->
+          Ledger.proof_size_bytes vr.Node.vr_proof
+          + Ledger.append_proof_size_bytes vr.Node.vr_append + 64
+        | None -> 16)
+      (fun nd -> Node.get_verified_latest nd key ~from)
+  with
+  | None -> Error "rpc timeout"
+  | Some None -> Error "nothing persisted yet"
+  | Some (Some vr) ->
+    let v = check_read t shard key vr.Node.vr_value vr ~current:true in
+    let v = { v with v_latency = Sim.now () -. started } in
+    Ok (vr.Node.vr_value, v)
+
+let verified_get_at t key ~block =
+  let shard = Cluster.shard_of_key t.cluster key in
+  let from = t.digests.(shard) in
+  let started = Sim.now () in
+  match
+    Cluster.call t.cluster ~shard ~req_bytes:(String.length key + 72)
+      ~resp_bytes:(fun r ->
+        match r with
+        | Some vr ->
+          Ledger.proof_size_bytes vr.Node.vr_proof
+          + Ledger.append_proof_size_bytes vr.Node.vr_append + 64
+        | None -> 16)
+      (fun nd -> Node.get_verified_at nd key ~block ~from)
+  with
+  | None -> Error "rpc timeout"
+  | Some None -> Error "no such block"
+  | Some (Some vr) ->
+    let v = check_read t shard key vr.Node.vr_value vr ~current:false in
+    let v = { v with v_latency = Sim.now () -. started } in
+    Ok (vr.Node.vr_value, v)
+
+let get_history t key ~n =
+  let shard = Cluster.shard_of_key t.cluster key in
+  match
+    Cluster.call t.cluster ~shard ~req_bytes:(String.length key + 24)
+      ~resp_bytes:(fun l -> 16 + List.fold_left (fun a (v, _) -> a + String.length v + 8) 0 l)
+      (fun nd -> Node.get_history nd key ~n)
+  with
+  | None -> []
+  | Some l -> l
+
+let flush_verifications t ?(force = false) () =
+  let now = Sim.now () in
+  let due, not_due =
+    List.partition (fun p -> force || p.due <= now) t.pending
+  in
+  t.pending <- not_due;
+  if due = [] then []
+  else begin
+    (* Batch by shard: one get-proof request carrying all due promises. *)
+    let by_shard = Hashtbl.create 4 in
+    List.iter
+      (fun p ->
+        let s = p.promise.Node.pr_shard in
+        Hashtbl.replace by_shard s
+          (p :: Option.value ~default:[] (Hashtbl.find_opt by_shard s)))
+      due;
+    Hashtbl.fold
+      (fun shard ps acc ->
+        let from = t.digests.(shard) in
+        let started = Sim.now () in
+        let reply =
+          Cluster.call t.cluster ~phase:("get-proof", List.length ps) ~shard
+            ~req_bytes:(64 * List.length ps)
+            ~resp_bytes:(fun results ->
+              let proofs =
+                List.filter_map
+                  (function Some (p, _, _) -> Some p | None -> None)
+                  results
+              in
+              Ledger.batch_size_bytes proofs + 64)
+            (fun nd ->
+              List.map
+                (fun p -> Node.get_proof nd p.promise ~from)
+                ps)
+        in
+        match reply with
+        | None ->
+          (* Node unreachable: requeue. *)
+          t.pending <- ps @ t.pending;
+          acc
+        | Some results ->
+          let ready = ref [] and not_ready = ref [] in
+          List.iter2
+            (fun p r ->
+              match r with
+              | Some ok -> ready := (p, ok) :: !ready
+              | None -> not_ready := p :: !not_ready)
+            ps results;
+          t.pending <- !not_ready @ t.pending;
+          if !ready = [] then acc
+          else begin
+            let proofs = List.map (fun (_, (pr, _, _)) -> pr) !ready in
+            let batch_bytes = Ledger.batch_size_bytes proofs in
+            let ok, _ =
+              Cost.charged_time Cost.default (fun () ->
+                  (* All proofs in one reply share the same server digest
+                     and append-only proof (from the digest we sent), so
+                     the digest advances once for the whole batch. *)
+                  let append_ok =
+                    match !ready with
+                    | (_, (_, appendp, new_digest)) :: _ ->
+                      advance_digest t shard ~proof:appendp new_digest
+                    | [] -> true
+                  in
+                  append_ok
+                  && List.for_all
+                       (fun (p, (proof, _, new_digest)) ->
+                         Ledger.verify_inclusion ~digest:new_digest
+                           ~key:p.promise.Node.pr_key
+                           ~value:(Some p.promise.Node.pr_value) proof
+                         && proof.Ledger.p_block = p.promise.Node.pr_block)
+                       !ready)
+            in
+            if not ok then t.failures <- t.failures + 1;
+            { v_ok = ok;
+              v_proof_bytes = batch_bytes;
+              v_latency = Sim.now () -. started;
+              v_keys = List.length !ready }
+            :: acc
+          end)
+      by_shard []
+  end

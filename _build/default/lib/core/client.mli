@@ -1,0 +1,92 @@
+(** GlassDB client session (Section 3.2.1 APIs).
+
+    The client is the two-phase-commit coordinator: it buffers writes,
+    executes reads against the owning shards, and on commit runs
+    prepare/commit rounds across every shard involved.  It caches each
+    shard's latest digest, holds the server's deferred-verification
+    promises, and checks every proof it receives — updating the digest only
+    when the append-only proof from the previously cached digest verifies. *)
+
+module Kv = Txnkit.Kv
+
+type config = {
+  rpc_timeout : float;   (** per-RPC timeout before aborting the txn *)
+  verify_delay : float;  (** deferred-verification window (0 = immediate) *)
+}
+
+val default_client_config : config
+
+type t
+
+val create : ?config:config -> Cluster.t -> id:int -> sk:string -> t
+
+val id : t -> int
+val public_key : t -> string
+(** Registered with auditors (HMAC model: equals the signing key). *)
+
+(* --- transactions --- *)
+
+type handle
+(** In-flight transaction context. *)
+
+exception Abort of string
+(** Raised inside {!execute}'s body by failed reads (node down); turns into
+    [Error reason]. *)
+
+val execute : t -> (handle -> 'a) -> ('a * Node.promise list, string) result
+(** Run a transaction body; on success returns its value plus the promises
+    for its writes.  The commit point runs 2PC across the shards touched. *)
+
+val get : handle -> Kv.key -> Kv.value option
+(** Read within the transaction (read-your-writes on buffered puts). *)
+
+val put : handle -> Kv.key -> Kv.value -> unit
+
+(* --- verified operations: the benchmark's VerifiedPut / VerifiedGetLatest
+   / VerifiedGetAt --- *)
+
+type verification = {
+  v_ok : bool;
+  v_proof_bytes : int;
+  v_latency : float;
+  v_keys : int;
+}
+
+val queue_promises : t -> Node.promise list -> unit
+(** Schedule commit promises for deferred verification after the
+    configured delay (used by the verified transaction workloads). *)
+
+val verified_put :
+  t -> Kv.key -> Kv.value -> (Node.promise, string) result
+(** Write via a single-key transaction; the promise is queued for deferred
+    verification after [verify_delay]. *)
+
+val verified_get_latest : t -> Kv.key -> (Kv.value option * verification, string) result
+(** Current-value read with proof, checked against the cached digest. *)
+
+val verified_get_at :
+  t -> Kv.key -> block:int -> (Kv.value option * verification, string) result
+(** Historical read with inclusion + append-only proof. *)
+
+val get_history : t -> Kv.key -> n:int -> (Kv.value * int) list
+(** Unverified history walk (used by VerifiedWarehouseBalance together with
+    per-version proofs). *)
+
+val pending_verifications : t -> int
+
+val flush_verifications : t -> ?force:bool -> unit -> verification list
+(** Verify every promise whose delay has elapsed ([force] = all), batching
+    promises by shard so proofs share chunks.  Promises whose block is not
+    yet persisted stay queued. *)
+
+val digest_of_shard : t -> int -> Ledger.digest
+(** The client's current view (for auditing / gossip). *)
+
+val gossip : t -> t -> bool
+(** Exchange digests with another user (Section 3.4.2): the staler view
+    advances when the server proves the fresher one extends it; [false]
+    means the two views fork — a detected equivocation. *)
+
+val verification_failures : t -> int
+(** Count of proof checks that failed — non-zero means a detected attack
+    or bug; benchmarks assert it stays zero. *)

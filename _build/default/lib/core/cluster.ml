@@ -1,0 +1,149 @@
+module Kv = Txnkit.Kv
+
+type config = {
+  shards : int;
+  node : Node.config;
+  rtt : float;
+  bandwidth : float;
+  rpc_timeout : float;
+}
+
+let default_config ?(shards = 4) () =
+  { shards;
+    node = Node.default_config;
+    rtt = 200e-6;
+    bandwidth = 125e6;
+    rpc_timeout = 1.0 }
+
+type t = {
+  cfg : config;
+  nodes : Node.t array;
+  net : Net.t;
+  mutable running : bool;
+}
+
+let create cfg =
+  if cfg.shards <= 0 then invalid_arg "Cluster.create";
+  { cfg;
+    nodes = Array.init cfg.shards (fun i -> Node.create cfg.node ~shard_id:i);
+    net = Net.create ~rtt:cfg.rtt ~bandwidth:cfg.bandwidth ();
+    running = false }
+
+let config_of t = t.cfg
+let shards t = t.cfg.shards
+let node t i = t.nodes.(i)
+let nodes t = t.nodes
+let shard_of_key t k = Kv.shard_of_key ~shards:t.cfg.shards k
+
+(* The persister is the paper's single persisting thread: it occupies one
+   worker slot while it updates the ledger, so transaction threads keep
+   running, but the longer it holds the slot (long intervals, large drains)
+   the more it contends with them (Section 5.3.1). *)
+(* Run a node handler charging CPU time inline and IO time through the
+   node's capacity-1 disk, so storage traffic from transactions, the
+   persister and proof generation contends for the same device. *)
+let charged_call cost nd f =
+  let started = Sim.now () in
+  let v, work = Glassdb_util.Work.measure f in
+  let cpu, io = Cost.split_time cost work in
+  Sim.sleep cpu;
+  if io > 0. then Sim.Resource.use (Node.disk nd) (fun () -> Sim.sleep io);
+  (v, Sim.now () -. started)
+
+let persister t nd =
+  let cost = t.cfg.node.Node.cost in
+  let interval = t.cfg.node.Node.persist_interval in
+  let pool = Node.workers nd in
+  let rec loop () =
+    if t.running then begin
+      Sim.sleep interval;
+      if t.running && Node.alive nd then
+        Sim.Resource.use pool (fun () ->
+            (* One charged step per block, bounded by the backlog present at
+               wake-up: ledger IO interleaves with foreground commits, and
+               writes arriving mid-drain wait for the next interval. *)
+            let budget = ref (Node.pending_blocks nd) in
+            let continue_ = ref (!budget > 0) in
+            while !continue_ && t.running && Node.alive nd do
+              decr budget;
+              let stepped, dt =
+                charged_call cost nd (fun () ->
+                    Node.persist_step nd ~now:(Sim.now ()))
+              in
+              if stepped then begin
+                let keys =
+                  match
+                    Ledger.header_at (Node.ledger_of nd)
+                      (Node.block_count nd - 1)
+                  with
+                  | Some h -> max 1 h.Ledger.n_writes
+                  | None -> 1
+                in
+                Node.note_phase nd "persist" (dt /. float_of_int keys);
+                if !budget <= 0 then continue_ := false
+              end
+              else continue_ := false
+            done);
+      loop ()
+    end
+  in
+  loop ()
+
+let start t =
+  t.running <- true;
+  if not t.cfg.node.Node.sync_persist then
+    Array.iter (fun nd -> Sim.spawn (fun () -> persister t nd)) t.nodes
+
+let stop t = t.running <- false
+
+(* RPCs run inline in the caller's process: transfer, queue for a worker,
+   execute with measured work charged as service time, transfer back.  A
+   dead node never answers; the caller sleeps out its timeout, exactly as a
+   timed-out ivar read would. *)
+let call t ?phase ~shard ~req_bytes ~resp_bytes f =
+  let nd = t.nodes.(shard) in
+  let started = Sim.now () in
+  let dead () =
+    let elapsed = Sim.now () -. started in
+    Sim.sleep (Float.max 0. (t.cfg.rpc_timeout -. elapsed));
+    None
+  in
+  Net.send t.net ~bytes_len:req_bytes;
+  if not (Node.alive nd) then dead ()
+  else begin
+    (* Server-side latency = queueing for a worker + charged service time;
+       recorded per phase for the cost-breakdown figures. *)
+    let arrived = Sim.now () in
+    let v, _ =
+      Sim.Resource.use (Node.workers nd) (fun () ->
+          charged_call t.cfg.node.Node.cost nd (fun () -> f nd))
+    in
+    (match phase with
+     | Some (name, keys) when keys > 0 ->
+       Node.note_phase nd name ((Sim.now () -. arrived) /. float_of_int keys)
+     | _ -> ());
+    if not (Node.alive nd) then dead ()
+    else begin
+      Net.send t.net ~bytes_len:(resp_bytes v);
+      Some v
+    end
+  end
+
+let crash_node t i = Node.crash t.nodes.(i)
+let recover_node t i = Node.recover t.nodes.(i)
+
+let total_storage_bytes t =
+  Array.fold_left
+    (fun acc nd -> acc + Storage.Node_store.total_bytes (Node.store nd))
+    0 t.nodes
+
+let total_blocks t =
+  Array.fold_left (fun acc nd -> acc + Node.block_count nd) 0 t.nodes
+
+let total_commits t =
+  Array.fold_left (fun acc nd -> acc + Node.commit_count nd) 0 t.nodes
+
+let total_aborts t =
+  Array.fold_left (fun acc nd -> acc + Node.abort_count nd) 0 t.nodes
+
+let reset_stats t = Array.iter Node.reset_stats t.nodes

@@ -1,0 +1,49 @@
+(** A simulated GlassDB deployment: [shards] nodes behind a shared network
+    model, with one persister process per node (Figure 3's persisting
+    thread).  All client/auditor traffic flows through {!call}, which
+    charges transfer latency and node service time measured from real work
+    counters. *)
+
+module Kv = Txnkit.Kv
+
+type config = {
+  shards : int;
+  node : Node.config;
+  rtt : float;
+  bandwidth : float;
+  rpc_timeout : float;
+}
+
+val default_config : ?shards:int -> unit -> config
+
+type t
+
+val create : config -> t
+
+val start : t -> unit
+(** Spawn the persister processes; must run inside [Sim.run]. *)
+
+val stop : t -> unit
+(** Stop the persisters (lets the simulation drain). *)
+
+val config_of : t -> config
+val shards : t -> int
+val node : t -> int -> Node.t
+val nodes : t -> Node.t array
+val shard_of_key : t -> Kv.key -> int
+
+val call :
+  t -> ?phase:string * int -> shard:int -> req_bytes:int ->
+  resp_bytes:('a -> int) -> (Node.t -> 'a) -> 'a option
+(** One RPC: request transfer, queue for a worker, execute the handler with
+    its measured work charged as service time, response transfer.  [None]
+    when the node is down or the response missed [rpc_timeout]. *)
+
+val crash_node : t -> int -> unit
+val recover_node : t -> int -> unit
+
+val total_storage_bytes : t -> int
+val total_blocks : t -> int
+val total_commits : t -> int
+val total_aborts : t -> int
+val reset_stats : t -> unit

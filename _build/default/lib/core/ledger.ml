@@ -1,0 +1,403 @@
+open Glassdb_util
+module Kv = Txnkit.Kv
+module Pos_tree = Postree.Pos_tree
+module IMap = Map.Make (Int)
+
+type config = { store : Storage.Node_store.t; pattern_bits : int }
+
+let config ?(pattern_bits = 5) store = { store; pattern_bits }
+
+type header = {
+  block_no : int;
+  state_root : Hash.t;
+  prev_hash : Hash.t;
+  body_root : Hash.t;
+  n_writes : int;
+  time : float;
+}
+
+let encode_header buf h =
+  Codec.write_varint buf h.block_no;
+  Codec.write_string buf h.state_root;
+  Codec.write_string buf h.prev_hash;
+  Codec.write_string buf h.body_root;
+  Codec.write_varint buf h.n_writes;
+  Codec.write_varint buf (int_of_float (h.time *. 1e6))
+
+let decode_header r =
+  let block_no = Codec.read_varint r in
+  let state_root = Codec.read_string r in
+  let prev_hash = Codec.read_string r in
+  let body_root = Codec.read_string r in
+  let n_writes = Codec.read_varint r in
+  let time = float_of_int (Codec.read_varint r) /. 1e6 in
+  { block_no; state_root; prev_hash; body_root; n_writes; time }
+
+let header_bytes h = Codec.to_string encode_header h
+let header_hash h = Hash.of_string (header_bytes h)
+
+type digest = { block_no : int; root : Hash.t; head : Hash.t }
+
+let genesis = { block_no = -1; root = Hash.empty; head = Hash.empty }
+
+let digest_equal a b =
+  a.block_no = b.block_no && Hash.equal a.root b.root && Hash.equal a.head b.head
+
+let pp_digest fmt d =
+  Format.fprintf fmt "#%d:%s" d.block_no (Hash.short d.root)
+
+type block_write = { wkey : Kv.key; wvalue : Kv.value; wtid : Kv.txn_id }
+
+type t = {
+  cfg : config;
+  upper : Pos_tree.t;
+  states : Pos_tree.t;
+  snapshots : Pos_tree.t IMap.t;
+  headers : header IMap.t;
+  bodies : (block_write list * Kv.signed_txn list) IMap.t;
+  latest : int;
+}
+
+let create cfg =
+  let pcfg = Pos_tree.config ~pattern_bits:cfg.pattern_bits cfg.store in
+  { cfg;
+    upper = Pos_tree.empty pcfg;
+    states = Pos_tree.empty pcfg;
+    snapshots = IMap.empty;
+    headers = IMap.empty;
+    bodies = IMap.empty;
+    latest = -1 }
+
+let latest_block t = t.latest
+let key_count t = Pos_tree.cardinal t.states
+
+(* Block numbers as fixed-width big-endian keys so the upper tree sorts
+   them numerically. *)
+let block_key n =
+  String.init 8 (fun i -> Char.chr ((n lsr (8 * (7 - i))) land 0xff))
+
+let digest t =
+  if t.latest < 0 then genesis
+  else
+    { block_no = t.latest;
+      root = Pos_tree.root_hash t.upper;
+      head = header_hash (IMap.find t.latest t.headers) }
+
+(* Leaf payload: value plus version metadata (Section 3.3.1: "metadata such
+   as the block number where the previous version resides are stored
+   together with the data"). *)
+let encode_payload ~value ~version ~prev =
+  Codec.to_string
+    (fun buf () ->
+      Codec.write_string buf value;
+      Codec.write_varint buf version;
+      Codec.write_varint buf (prev + 1) (* -1 encodes as 0 *))
+    ()
+
+let decode_payload s =
+  Codec.of_string
+    (fun r ->
+      let value = Codec.read_string r in
+      let version = Codec.read_varint r in
+      let prev = Codec.read_varint r - 1 in
+      (value, version, prev))
+    s
+
+let body_root writes txns =
+  let buf = Buffer.create 256 in
+  Codec.write_list buf
+    (fun b w ->
+      Codec.write_string b w.wkey;
+      Codec.write_string b w.wvalue;
+      Codec.write_string b w.wtid)
+    writes;
+  Codec.write_list buf Kv.encode_signed_txn txns;
+  Hash.of_string (Buffer.contents buf)
+
+let append_block t ~time ~writes ~txns =
+  let block_no = t.latest + 1 in
+  let seen = Hashtbl.create (List.length writes) in
+  List.iter
+    (fun w ->
+      if Hashtbl.mem seen w.wkey then
+        invalid_arg "Ledger.append_block: duplicate key in block";
+      Hashtbl.replace seen w.wkey ())
+    writes;
+  let updates =
+    List.map
+      (fun w ->
+        let prev =
+          match Pos_tree.get t.states w.wkey with
+          | Some payload ->
+            let _, version, _ = decode_payload payload in
+            version
+          | None -> -1
+        in
+        (w.wkey, encode_payload ~value:w.wvalue ~version:block_no ~prev))
+      writes
+  in
+  let states = Pos_tree.insert_batch t.states updates in
+  let header =
+    { block_no;
+      state_root = Pos_tree.root_hash states;
+      prev_hash =
+        (if t.latest < 0 then Hash.empty
+         else header_hash (IMap.find t.latest t.headers));
+      body_root = body_root writes txns;
+      n_writes = List.length writes;
+      time }
+  in
+  let upper =
+    Pos_tree.insert_batch t.upper [ (block_key block_no, header_bytes header) ]
+  in
+  { t with
+    upper;
+    states;
+    snapshots = IMap.add block_no states t.snapshots;
+    headers = IMap.add block_no header t.headers;
+    bodies = IMap.add block_no (writes, txns) t.bodies;
+    latest = block_no }
+
+let state_at t block =
+  if block = t.latest then Some t.states else IMap.find_opt block t.snapshots
+
+let get ?block t key =
+  let block = Option.value ~default:t.latest block in
+  if block < 0 then None
+  else
+    match state_at t block with
+    | None -> None
+    | Some st ->
+      (match Pos_tree.get st key with
+       | None -> None
+       | Some payload -> Some (decode_payload payload))
+
+let get_history t key ~n =
+  let rec go block acc remaining =
+    if remaining = 0 || block < 0 then List.rev acc
+    else
+      match get ~block t key with
+      | None -> List.rev acc
+      | Some (value, version, prev) ->
+        go prev ((value, version) :: acc) (remaining - 1)
+  in
+  go t.latest [] n
+
+let header_at t block = IMap.find_opt block t.headers
+
+let writes_of_block t block =
+  match IMap.find_opt block t.bodies with
+  | Some (writes, _) -> writes
+  | None -> []
+
+let txns_of_block t block =
+  match IMap.find_opt block t.bodies with
+  | Some (_, txns) -> txns
+  | None -> []
+
+(* --- proofs --- *)
+
+type proof = {
+  p_block : int;
+  p_header : string;
+  p_upper : Pos_tree.proof;
+  p_lower : Pos_tree.proof;
+  p_payload : string option;
+}
+
+let encode_proof buf p =
+  Codec.write_varint buf p.p_block;
+  Codec.write_string buf p.p_header;
+  Pos_tree.encode_proof buf p.p_upper;
+  Pos_tree.encode_proof buf p.p_lower;
+  Codec.write_option buf Codec.write_string p.p_payload
+
+let decode_proof r =
+  let p_block = Codec.read_varint r in
+  let p_header = Codec.read_string r in
+  let p_upper = Pos_tree.decode_proof r in
+  let p_lower = Pos_tree.decode_proof r in
+  let p_payload = Codec.read_option r Codec.read_string in
+  { p_block; p_header; p_upper; p_lower; p_payload }
+
+let proof_size_bytes p = String.length (Codec.to_string encode_proof p)
+
+let batch_size_bytes proofs =
+  (* Chunks shared between proofs (common tree paths, same header) ship
+     once.  Approximate the batched wire size as the deduplicated chunk
+     bytes plus a small per-proof frame. *)
+  let seen = Hashtbl.create 64 in
+  let total = ref 0 in
+  let add_chunks proof_chunks =
+    List.iter
+      (fun s ->
+        if not (Hashtbl.mem seen s) then begin
+          Hashtbl.replace seen s ();
+          total := !total + String.length s + 4
+        end)
+      proof_chunks
+  in
+  let chunks_of_pos p =
+    Codec.of_string
+      (fun r -> Codec.read_list r Codec.read_string)
+      (Codec.to_string Pos_tree.encode_proof p)
+  in
+  List.iter
+    (fun p ->
+      add_chunks [ p.p_header ];
+      add_chunks (chunks_of_pos p.p_upper);
+      add_chunks (chunks_of_pos p.p_lower);
+      total := !total + 16)
+    proofs;
+  !total
+
+let prove_inclusion t key ~block =
+  match (header_at t block, state_at t block) with
+  | Some header, Some st ->
+    { p_block = block;
+      p_header = header_bytes header;
+      p_upper = Pos_tree.prove t.upper (block_key block);
+      p_lower = Pos_tree.prove st key;
+      p_payload = Pos_tree.get st key }
+  | _ -> invalid_arg "Ledger.prove_inclusion: no such block"
+
+let prove_current t key =
+  if t.latest < 0 then invalid_arg "Ledger.prove_current: empty ledger"
+  else prove_inclusion t key ~block:t.latest
+
+let verify_inclusion ~digest ~key ~value p =
+  match
+    (* Parse the header defensively: it comes from the server. *)
+    Codec.of_string decode_header p.p_header
+  with
+  | exception _ -> false
+  | header ->
+    header.block_no = p.p_block
+    && p.p_block <= digest.block_no
+    && Pos_tree.verify ~root:digest.root ~key:(block_key p.p_block)
+         ~value:(Some p.p_header) p.p_upper
+    && Pos_tree.verify ~root:header.state_root ~key ~value:p.p_payload
+         p.p_lower
+    &&
+    (match (p.p_payload, value) with
+     | None, None -> true
+     | None, Some _ | Some _, None -> false
+     | Some payload, Some v ->
+       (match decode_payload payload with
+        | value', version, _ -> String.equal value' v && version <= p.p_block
+        | exception _ -> false))
+
+let verify_current ~digest ~key ~value p =
+  p.p_block = digest.block_no
+  && Hash.equal (Hash.of_string p.p_header) digest.head
+  && verify_inclusion ~digest ~key ~value p
+
+(* --- verifiable range scans --- *)
+
+type scan_proof = {
+  sp_block : int;
+  sp_header : string;
+  sp_upper : Pos_tree.proof;
+  sp_range : Pos_tree.range_proof;
+}
+
+let scan_proof_size_bytes p =
+  String.length p.sp_header
+  + Pos_tree.proof_size_bytes p.sp_upper
+  + Pos_tree.range_proof_size_bytes p.sp_range + 8
+
+let prove_scan t ~lo ~hi ?block () =
+  let block = Option.value ~default:t.latest block in
+  match (header_at t block, state_at t block) with
+  | Some header, Some st ->
+    { sp_block = block;
+      sp_header = header_bytes header;
+      sp_upper = Pos_tree.prove t.upper (block_key block);
+      sp_range = Pos_tree.prove_range st ~lo ~hi }
+  | _ -> invalid_arg "Ledger.prove_scan: no such block"
+
+let scan ?block t ~lo ~hi =
+  let block = Option.value ~default:t.latest block in
+  match state_at t block with
+  | None -> []
+  | Some st ->
+    Pos_tree.bindings_range st ~lo ~hi
+    |> List.map (fun (k, payload) ->
+           let v, _, _ = decode_payload payload in
+           (k, v))
+
+let verify_scan ~digest ~lo ~hi ~rows p =
+  match Codec.of_string decode_header p.sp_header with
+  | exception _ -> false
+  | header ->
+    header.block_no = p.sp_block
+    && p.sp_block <= digest.block_no
+    && Pos_tree.verify ~root:digest.root ~key:(block_key p.sp_block)
+         ~value:(Some p.sp_header) p.sp_upper
+    &&
+    (match
+       Pos_tree.extract_range ~root:header.state_root ~lo ~hi p.sp_range
+     with
+     | None -> false
+     | Some certified ->
+       (* The certified bindings carry encoded payloads; decode and compare
+          with the claimed rows, key by key. *)
+       List.length certified = List.length rows
+       && List.for_all2
+            (fun (ck, payload) (rk, rv) ->
+              String.equal ck rk
+              &&
+              match decode_payload payload with
+              | value, version, _ ->
+                String.equal value rv && version <= p.sp_block
+              | exception _ -> false)
+            certified rows)
+
+type append_proof =
+  | Same_digest
+  | Head_inclusion of { a_header : string; a_upper : Pos_tree.proof }
+
+let encode_append_proof buf = function
+  | Same_digest -> Codec.write_bool buf false
+  | Head_inclusion { a_header; a_upper } ->
+    Codec.write_bool buf true;
+    Codec.write_string buf a_header;
+    Pos_tree.encode_proof buf a_upper
+
+let decode_append_proof r =
+  if Codec.read_bool r then
+    let a_header = Codec.read_string r in
+    let a_upper = Pos_tree.decode_proof r in
+    Head_inclusion { a_header; a_upper }
+  else Same_digest
+
+let append_proof_size_bytes p =
+  String.length (Codec.to_string encode_append_proof p)
+
+let prove_append_only t ~old_block =
+  if old_block = t.latest || old_block < 0 then Same_digest
+  else
+    match header_at t old_block with
+    | None -> invalid_arg "Ledger.prove_append_only: no such block"
+    | Some header ->
+      Head_inclusion
+        { a_header = header_bytes header;
+          a_upper = Pos_tree.prove t.upper (block_key old_block) }
+
+let verify_append_only ~old_digest ~new_digest proof =
+  if old_digest.block_no > new_digest.block_no then false
+  else if old_digest.block_no < 0 then
+    (* Anything extends the empty ledger. *)
+    proof = Same_digest
+  else if old_digest.block_no = new_digest.block_no then
+    proof = Same_digest && digest_equal old_digest new_digest
+  else
+    match proof with
+    | Same_digest -> false
+    | Head_inclusion { a_header; a_upper } ->
+      (* The old head block appears unchanged in the new tree; because each
+         header hash-chains to its predecessor, this pins the entire prefix
+         the old digest committed to. *)
+      Hash.equal (Hash.of_string a_header) old_digest.head
+      && Pos_tree.verify ~root:new_digest.root
+           ~key:(block_key old_digest.block_no) ~value:(Some a_header) a_upper

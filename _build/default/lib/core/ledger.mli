@@ -1,0 +1,143 @@
+(** GlassDB's ledger storage: the two-level POS-tree (Section 3.3.1).
+
+    The *lower* level is a POS-tree over the complete database state; every
+    block appends a copy-on-write snapshot of it, and the snapshot's root —
+    together with chain metadata — forms the block header.  The *upper*
+    level is a POS-tree indexing block headers by block number; its root is
+    the ledger digest.  Value leaves carry the block where the previous
+    version lives, so history walks are pointer chases.
+
+    Proof kinds (Section 2.2):
+    - {!prove_inclusion}: key/value bound in a given block,
+    - current-value: an inclusion proof for the digest's own latest block
+      (the lower tree holds the whole state, so the latest value is always
+      in the right-most block),
+    - {!prove_append_only}: the old head block header is contained unchanged
+      in the new upper tree; headers hash-chain to their predecessors. *)
+
+open Glassdb_util
+module Kv = Txnkit.Kv
+
+type config = { store : Storage.Node_store.t; pattern_bits : int }
+
+val config : ?pattern_bits:int -> Storage.Node_store.t -> config
+
+type header = {
+  block_no : int;
+  state_root : Hash.t;   (** lower-tree root after this block *)
+  prev_hash : Hash.t;    (** hash of the previous header; [Hash.empty] at 0 *)
+  body_root : Hash.t;    (** hash over the block's writes and signed txns *)
+  n_writes : int;
+  time : float;          (** virtual creation time *)
+}
+
+val header_hash : header -> Hash.t
+val encode_header : Buffer.t -> header -> unit
+val decode_header : Codec.reader -> header
+
+type digest = { block_no : int; root : Hash.t; head : Hash.t }
+(** What clients cache and auditors gossip: latest block number, upper-tree
+    root, and the latest header's hash.  [genesis] for the empty ledger. *)
+
+val genesis : digest
+val digest_equal : digest -> digest -> bool
+val pp_digest : Format.formatter -> digest -> unit
+
+type block_write = { wkey : Kv.key; wvalue : Kv.value; wtid : Kv.txn_id }
+
+type t
+
+val create : config -> t
+val latest_block : t -> int
+(** -1 when empty. *)
+
+val digest : t -> digest
+val key_count : t -> int
+
+val append_block :
+  t -> time:float -> writes:block_write list -> txns:Kv.signed_txn list -> t
+(** Append one block containing the given writes (at most one version per
+    key; [Invalid_argument] otherwise).  [txns] are the signed transactions
+    vouching for the writes, retained for auditing. *)
+
+val get : ?block:int -> t -> Kv.key -> (Kv.value * int * int) option
+(** (value, version block, previous-version block or -1) as of [block]
+    (default: latest).  [None] when the key is absent or the block does not
+    exist. *)
+
+val get_history : t -> Kv.key -> n:int -> (Kv.value * int) list
+(** Up to [n] most recent versions, newest first, by prev-block walks. *)
+
+val header_at : t -> int -> header option
+val writes_of_block : t -> int -> block_write list
+val txns_of_block : t -> int -> Kv.signed_txn list
+
+(* --- proofs --- *)
+
+type proof = {
+  p_block : int;
+  p_header : string;            (** serialized header *)
+  p_upper : Postree.Pos_tree.proof;
+  p_lower : Postree.Pos_tree.proof;
+  p_payload : string option;    (** encoded leaf payload; None = absent *)
+}
+
+val proof_size_bytes : proof -> int
+
+val batch_size_bytes : proof list -> int
+(** Size after deduplicating shared tree chunks — what a server batching
+    proofs for keys in the same block actually ships. *)
+
+val prove_inclusion : t -> Kv.key -> block:int -> proof
+(** Raises [Invalid_argument] when the block does not exist. *)
+
+val prove_current : t -> Kv.key -> proof
+
+val verify_inclusion :
+  digest:digest -> key:Kv.key -> value:Kv.value option -> proof -> bool
+(** Checks the proof binds [key] to [value] in block [p_block] of the
+    ledger identified by [digest]. *)
+
+val verify_current :
+  digest:digest -> key:Kv.key -> value:Kv.value option -> proof -> bool
+(** Additionally requires the proof to come from the digest's own latest
+    block — the freshness condition. *)
+
+type append_proof
+
+val append_proof_size_bytes : append_proof -> int
+
+val prove_append_only : t -> old_block:int -> append_proof
+(** Proof that the ledger at [old_block] is a prefix of the current one. *)
+
+val verify_append_only :
+  old_digest:digest -> new_digest:digest -> append_proof -> bool
+
+val encode_proof : Buffer.t -> proof -> unit
+val decode_proof : Codec.reader -> proof
+val encode_append_proof : Buffer.t -> append_proof -> unit
+val decode_append_proof : Codec.reader -> append_proof
+
+(* --- verifiable range scans --- *)
+
+type scan_proof
+(** Header inclusion in the upper tree plus a lower-tree range proof whose
+    verification recurses into every intersecting subtree — the server can
+    neither omit nor inject rows. *)
+
+val scan_proof_size_bytes : scan_proof -> int
+
+val prove_scan : t -> lo:Kv.key -> hi:Kv.key -> ?block:int -> unit -> scan_proof
+(** Proof for the rows with [lo <= key < hi] as of [block] (default:
+    latest).  Raises [Invalid_argument] when the block does not exist. *)
+
+val scan : ?block:int -> t -> lo:Kv.key -> hi:Kv.key -> (Kv.key * Kv.value) list
+
+val verify_scan :
+  digest:digest -> lo:Kv.key -> hi:Kv.key ->
+  rows:(Kv.key * Kv.value) list -> scan_proof -> bool
+
+(* --- leaf payload codec (shared with the auditor's re-execution) --- *)
+
+val encode_payload : value:Kv.value -> version:int -> prev:int -> string
+val decode_payload : string -> Kv.value * int * int

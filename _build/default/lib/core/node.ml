@@ -1,0 +1,421 @@
+open Glassdb_util
+module Kv = Txnkit.Kv
+module Occ = Txnkit.Occ
+module Committed_map = Txnkit.Committed_map
+
+type config = {
+  persist_interval : float;
+  workers : int;
+  batching : bool;
+  sync_persist : bool;
+  pattern_bits : int;
+  cost : Cost.t;
+  queue_capacity : int;
+}
+
+let default_config =
+  { persist_interval = 0.05;
+    workers = 8;
+    batching = true;
+    sync_persist = false;
+    pattern_bits = 5;
+    cost = Cost.default;
+    queue_capacity = 4096 }
+
+type promise = {
+  pr_shard : int;
+  pr_tid : Kv.txn_id;
+  pr_key : Kv.key;
+  pr_value : Kv.value;
+  pr_block : int;
+}
+
+type t = {
+  id : int;
+  cfg : config;
+  occ : Occ.t;
+  cmap : Committed_map.t;
+  mutable ledger : Ledger.t;
+  wal : Storage.Wal.t;
+  node_store : Storage.Node_store.t;
+  worker_pool : Sim.Resource.t;
+  disk : Sim.Resource.t;
+  mutable is_alive : bool;
+  (* Per-transaction bookkeeping between prepare and persist. *)
+  signed : (Kv.txn_id, Kv.signed_txn) Hashtbl.t;
+  (* FIFO of committed transactions for per-transaction blocks (no-BA). *)
+  txn_blocks : (Kv.txn_id * (Kv.key * Kv.value) list) Queue.t;
+  (* Keys already persisted, per txn, to support WAL recovery. *)
+  mutable persisted_marks : (Kv.txn_id * Kv.key) list;
+  stats : (string, Stats.t) Hashtbl.t;
+  mutable commits : int;
+  mutable aborts : int;
+}
+
+let create cfg ~shard_id =
+  let node_store = Storage.Node_store.create () in
+  { id = shard_id;
+    cfg;
+    occ = Occ.create ();
+    cmap = Committed_map.create ();
+    ledger = Ledger.create (Ledger.config ~pattern_bits:cfg.pattern_bits node_store);
+    wal = Storage.Wal.create ();
+    node_store;
+    worker_pool = Sim.Resource.create cfg.workers;
+    disk = Sim.Resource.create 1;
+    is_alive = true;
+    signed = Hashtbl.create 256;
+    txn_blocks = Queue.create ();
+    persisted_marks = [];
+    stats = Hashtbl.create 8;
+    commits = 0;
+    aborts = 0 }
+
+let shard_id t = t.id
+let alive t = t.is_alive
+let workers t = t.worker_pool
+let disk t = t.disk
+let config_of t = t.cfg
+let store t = t.node_store
+let ledger_of t = t.ledger
+
+let note_phase t phase v =
+  let s =
+    match Hashtbl.find_opt t.stats phase with
+    | Some s -> s
+    | None ->
+      let s = Stats.create () in
+      Hashtbl.replace t.stats phase s;
+      s
+  in
+  Stats.add s v
+
+let phase_stats t = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.stats []
+
+let commit_count t = t.commits
+let abort_count t = t.aborts
+let block_count t = Ledger.latest_block t.ledger + 1
+
+let reset_stats t =
+  Hashtbl.reset t.stats;
+  t.commits <- 0;
+  t.aborts <- 0
+
+(* Version visible to OCC validation: newest pending predicted block, else
+   the persisted version, else -1 for absent keys. *)
+let current_version t k =
+  match Committed_map.latest t.cmap k with
+  | Some (_, predicted, _) -> predicted
+  | None ->
+    (match Ledger.get t.ledger k with
+     | Some (_, version, _) -> version
+     | None -> -1)
+
+let wal_commit_payload tid writes =
+  Codec.to_string
+    (fun buf () ->
+      Codec.write_string buf tid;
+      Codec.write_list buf
+        (fun b (k, v) ->
+          Codec.write_string b k;
+          Codec.write_string b v)
+        writes)
+    ()
+
+let parse_wal_commit payload =
+  Codec.of_string
+    (fun r ->
+      let tid = Codec.read_string r in
+      let writes =
+        Codec.read_list r (fun r ->
+            let k = Codec.read_string r in
+            let v = Codec.read_string r in
+            (k, v))
+      in
+      (tid, writes))
+    payload
+
+(* --- persistence --- *)
+
+let block_of_writes t ~now writes =
+  let tids =
+    List.sort_uniq compare (List.map (fun (_, _, tid) -> tid) writes)
+  in
+  let txns = List.filter_map (Hashtbl.find_opt t.signed) tids in
+  let block_writes =
+    List.map
+      (fun (k, v, tid) -> { Ledger.wkey = k; wvalue = v; wtid = tid })
+      writes
+  in
+  t.ledger <- Ledger.append_block t.ledger ~time:now ~writes:block_writes ~txns;
+  (* Mark these writes persisted (for crash recovery), and drop signed
+     transactions whose writes are fully persisted. *)
+  List.iter
+    (fun (k, _, tid) -> t.persisted_marks <- (tid, k) :: t.persisted_marks)
+    writes;
+  ignore
+    (Storage.Wal.append t.wal ~kind:"block"
+       ~payload:
+         (Codec.to_string
+            (fun buf () ->
+              Codec.write_varint buf (Ledger.latest_block t.ledger);
+              Codec.write_list buf
+                (fun b (_, _, tid) -> Codec.write_string b tid)
+                writes)
+            ()))
+
+(* Build at most one block; true when a block was appended.  The caller
+   (the persister process) charges each step separately so ledger writes
+   interleave with foreground traffic on the shared disk instead of
+   convoying. *)
+let persist_step t ~now =
+  if not t.is_alive then false
+  else if t.cfg.batching then begin
+    match Committed_map.drain_layer t.cmap with
+    | [] -> false
+    | layer ->
+      block_of_writes t ~now layer;
+      true
+  end
+  else begin
+    (* One block per committed transaction, in commit order. *)
+    let rec next () =
+      match Queue.take_opt t.txn_blocks with
+      | None -> false
+      | Some (_, writes) ->
+        let layer =
+          List.filter_map
+            (fun (k, _) ->
+              match Committed_map.pop_key t.cmap k with
+              | Some (v, _, tid') -> Some (k, v, tid')
+              | None -> None)
+            writes
+        in
+        if layer = [] then next ()
+        else begin
+          block_of_writes t ~now layer;
+          true
+        end
+    in
+    next ()
+  end
+
+(* Blocks a full drain would build right now; the persister bounds each
+   wake-up by this so commits arriving mid-drain wait for the next one. *)
+let pending_blocks t =
+  if t.cfg.batching then Committed_map.max_depth t.cmap
+  else Queue.length t.txn_blocks
+
+let persist t ~now =
+  let blocks = ref 0 in
+  while persist_step t ~now do
+    incr blocks
+  done;
+  !blocks
+
+(* --- transaction phases --- *)
+
+let prepare t ~rw stxn =
+  let verdict =
+    if Occ.prepared_count t.occ >= t.cfg.queue_capacity then
+      Txnkit.Occ.Conflict "queue full"
+    else
+      Occ.prepare t.occ ~tid:stxn.Kv.tid ~current_version:(current_version t)
+        rw
+  in
+  (match verdict with
+   | Txnkit.Occ.Ok ->
+     Hashtbl.replace t.signed stxn.Kv.tid stxn;
+     ignore
+       (Storage.Wal.append t.wal ~kind:"prepare"
+          ~payload:(Codec.to_string Kv.encode_signed_txn stxn))
+   | Txnkit.Occ.Conflict _ -> ());
+  verdict
+
+let commit t tid =
+  match Occ.commit t.occ ~tid with
+  | None -> []
+  | Some rw ->
+    t.commits <- t.commits + 1;
+    ignore
+      (Storage.Wal.append t.wal ~kind:"commit"
+         ~payload:(wal_commit_payload tid rw.Kv.writes));
+    let persisted = Ledger.latest_block t.ledger in
+    let promises =
+      if t.cfg.batching then
+        List.map
+          (fun (k, v) ->
+            let predicted = Committed_map.predict t.cmap ~persisted_block:persisted k in
+            Committed_map.add t.cmap ~predicted k v tid;
+            { pr_shard = t.id; pr_tid = tid; pr_key = k; pr_value = v;
+              pr_block = predicted })
+          rw.Kv.writes
+      else if rw.Kv.writes = [] then []
+      else begin
+        (* One block per transaction: its position in the queue decides the
+           block number for all of its keys.  Read-only participants must
+           not enqueue — they would consume a block position without ever
+           producing a block. *)
+        let predicted = persisted + Queue.length t.txn_blocks + 1 in
+        Queue.add (tid, rw.Kv.writes) t.txn_blocks;
+        List.map
+          (fun (k, v) ->
+            Committed_map.add t.cmap ~predicted k v tid;
+            { pr_shard = t.id; pr_tid = tid; pr_key = k; pr_value = v;
+              pr_block = predicted })
+          rw.Kv.writes
+      end
+    in
+    if t.cfg.sync_persist && rw.Kv.writes <> [] then
+      ignore (persist t ~now:(Sim.now ()));
+    promises
+
+let abort t tid =
+  t.aborts <- t.aborts + 1;
+  Occ.abort t.occ ~tid;
+  Hashtbl.remove t.signed tid;
+  ignore (Storage.Wal.append t.wal ~kind:"abort" ~payload:tid)
+
+(* Checkpoint: committed data up to the current ledger head is durable in
+   the authenticated storage, so the WAL prefix is no longer needed for
+   recovery. *)
+let checkpoint t =
+  let horizon = Storage.Wal.last_seq t.wal + 1 in
+  Storage.Wal.truncate_before t.wal horizon;
+  (* Recovery marks for persisted writes are likewise no longer needed. *)
+  if Txnkit.Committed_map.is_empty t.cmap then t.persisted_marks <- []
+
+let wal_size_bytes t = Storage.Wal.size_bytes t.wal
+let wal_records t = List.length (Storage.Wal.records_from t.wal 0)
+
+(* --- reads and proofs --- *)
+
+let get t k =
+  match Committed_map.latest t.cmap k with
+  | Some (v, predicted, _) -> Some (v, predicted)
+  | None ->
+    (match Ledger.get t.ledger k with
+     | Some (v, version, _) -> Some (v, version)
+     | None -> None)
+
+let get_at t k ~block =
+  match Ledger.get ~block t.ledger k with
+  | Some (v, version, _) -> Some (v, version)
+  | None -> None
+
+let get_history t k ~n = Ledger.get_history t.ledger k ~n
+
+let digest t = Ledger.digest t.ledger
+
+type verified_read = {
+  vr_value : Kv.value option;
+  vr_proof : Ledger.proof;
+  vr_append : Ledger.append_proof;
+  vr_digest : Ledger.digest;
+}
+
+let get_verified_latest t k ~from =
+  if Ledger.latest_block t.ledger < 0 then None
+  else begin
+    let proof = Ledger.prove_current t.ledger k in
+    let value = Option.map (fun (v, _, _) -> v) (Ledger.get t.ledger k) in
+    let appendp =
+      Ledger.prove_append_only t.ledger ~old_block:from.Ledger.block_no
+    in
+    Some
+      { vr_value = value;
+        vr_proof = proof;
+        vr_append = appendp;
+        vr_digest = Ledger.digest t.ledger }
+  end
+
+let get_verified_at t k ~block ~from =
+  match Ledger.header_at t.ledger block with
+  | None -> None
+  | Some _ ->
+    let proof = Ledger.prove_inclusion t.ledger k ~block in
+    let value = Option.map (fun (v, _, _) -> v) (Ledger.get ~block t.ledger k) in
+    let appendp =
+      Ledger.prove_append_only t.ledger ~old_block:from.Ledger.block_no
+    in
+    Some
+      { vr_value = value;
+        vr_proof = proof;
+        vr_append = appendp;
+        vr_digest = Ledger.digest t.ledger }
+
+let get_proof t promise ~from =
+  if Ledger.latest_block t.ledger < promise.pr_block then None
+  else begin
+    let proof = Ledger.prove_inclusion t.ledger promise.pr_key ~block:promise.pr_block in
+    let appendp =
+      Ledger.prove_append_only t.ledger ~old_block:from.Ledger.block_no
+    in
+    Some (proof, appendp, Ledger.digest t.ledger)
+  end
+
+let prove_append_only t ~old_block = Ledger.prove_append_only t.ledger ~old_block
+
+(* --- audit support --- *)
+
+type block_bundle = {
+  bb_header : Ledger.header;
+  bb_writes : Ledger.block_write list;
+  bb_txns : Kv.signed_txn list;
+}
+
+let block_bundle t b =
+  match Ledger.header_at t.ledger b with
+  | None -> None
+  | Some bb_header ->
+    Some
+      { bb_header;
+        bb_writes = Ledger.writes_of_block t.ledger b;
+        bb_txns = Ledger.txns_of_block t.ledger b }
+
+(* --- failure injection --- *)
+
+let crash t =
+  t.is_alive <- false;
+  (* Volatile memory is gone. *)
+  Committed_map.clear t.cmap;
+  Hashtbl.reset t.signed;
+  Queue.clear t.txn_blocks;
+  (* Prepared transactions are forgotten; their clients will time out. *)
+  Txnkit.Occ.clear t.occ
+
+let recover t =
+  (* Replay the WAL: committed writes not covered by a later block record
+     are re-queued for persistence. *)
+  let persisted = Hashtbl.create 64 in
+  List.iter
+    (fun (tid, k) -> Hashtbl.replace persisted (tid, k) ())
+    t.persisted_marks;
+  let commits = ref [] in
+  List.iter
+    (fun r ->
+      match r.Storage.Wal.kind with
+      | "commit" ->
+        (match parse_wal_commit r.Storage.Wal.payload with
+         | tid, writes -> commits := (tid, writes) :: !commits
+         | exception _ -> ())
+      | "prepare" ->
+        (* Undecided at crash time: conservatively aborted (the paper's
+           recovering node asks the client; our clients have already timed
+           out and aborted by the time the node reboots). *)
+        ()
+      | _ -> ())
+    (Storage.Wal.records_from t.wal 0);
+  let persisted_block = Ledger.latest_block t.ledger in
+  List.iter
+    (fun (tid, writes) ->
+      List.iter
+        (fun (k, v) ->
+          if not (Hashtbl.mem persisted (tid, k)) then begin
+            let predicted = Committed_map.predict t.cmap ~persisted_block k in
+            Committed_map.add t.cmap ~predicted k v tid;
+            if not t.cfg.batching then Queue.add (tid, [ (k, v) ]) t.txn_blocks
+          end)
+        writes)
+    (List.rev !commits);
+  t.is_alive <- true

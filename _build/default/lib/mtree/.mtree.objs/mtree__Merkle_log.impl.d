@@ -1,0 +1,1 @@
+lib/mtree/merkle_log.ml: Array Codec Glassdb_util Hash Hashtbl List

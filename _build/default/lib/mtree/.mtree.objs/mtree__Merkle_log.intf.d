@@ -1,0 +1,1 @@
+lib/mtree/merkle_log.mli: Buffer Codec Glassdb_util Hash

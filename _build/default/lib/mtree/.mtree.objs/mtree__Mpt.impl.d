@@ -1,0 +1,1 @@
+lib/mtree/mpt.ml: Array Buffer Char Codec Glassdb_util Hash List Option Storage String

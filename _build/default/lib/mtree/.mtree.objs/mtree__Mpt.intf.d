@@ -1,0 +1,1 @@
+lib/mtree/mpt.mli: Glassdb_util Hash Storage

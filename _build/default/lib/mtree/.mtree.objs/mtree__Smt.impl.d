@@ -1,0 +1,1 @@
+lib/mtree/smt.ml: Array Char Glassdb_util Hash Int64 List String

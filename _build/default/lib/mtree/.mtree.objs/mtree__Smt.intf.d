@@ -1,0 +1,1 @@
+lib/mtree/smt.mli: Glassdb_util Hash

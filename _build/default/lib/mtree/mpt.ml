@@ -1,0 +1,312 @@
+open Glassdb_util
+
+(* Nibble-path Patricia trie.  Nodes are hashed over their serialization;
+   children are referenced by hash inside that serialization, so a proof is
+   simply the serialized nodes along the lookup path. *)
+
+type node =
+  | Leaf of { suffix : int list; value : string; hash : Hash.t }
+  | Ext of { prefix : int list; child : node; hash : Hash.t }
+  | Branch of { children : node option array; value : string option; hash : Hash.t }
+
+type t = {
+  root : node option;
+  count : int;
+  store : Storage.Node_store.t option;
+      (* when set, every fresh node is persisted (and charged) there *)
+}
+
+let nibbles_of_key k =
+  let out = ref [] in
+  String.iter
+    (fun c ->
+      let b = Char.code c in
+      out := (b land 0xf) :: (b lsr 4) :: !out)
+    k;
+  List.rev !out
+
+let key_of_nibbles ns =
+  let arr = Array.of_list ns in
+  assert (Array.length arr mod 2 = 0);
+  String.init (Array.length arr / 2) (fun i ->
+      Char.chr ((arr.(2 * i) lsl 4) lor arr.(2 * i + 1)))
+
+let node_hash = function
+  | Leaf { hash; _ } | Ext { hash; _ } | Branch { hash; _ } -> hash
+
+(* Serialization is shared by hashing and proofs. *)
+
+let write_nibbles buf ns =
+  Codec.write_varint buf (List.length ns);
+  List.iter (fun n -> Buffer.add_char buf (Char.chr n)) ns
+
+let read_nibbles r =
+  let n = Codec.read_varint r in
+  List.init n (fun _ ->
+      let b = Codec.read_byte r in
+      if b > 0xf then raise (Codec.Malformed "nibble out of range");
+      b)
+
+let serialize node =
+  let buf = Buffer.create 64 in
+  (match node with
+   | Leaf { suffix; value; _ } ->
+     Buffer.add_char buf 'L';
+     write_nibbles buf suffix;
+     Codec.write_string buf value
+   | Ext { prefix; child; _ } ->
+     Buffer.add_char buf 'E';
+     write_nibbles buf prefix;
+     Codec.write_string buf (node_hash child)
+   | Branch { children; value; _ } ->
+     Buffer.add_char buf 'B';
+     Array.iter
+       (fun c ->
+         Codec.write_option buf Codec.write_string (Option.map node_hash c))
+       children;
+     Codec.write_option buf Codec.write_string value);
+  Buffer.contents buf
+
+type parsed =
+  | P_leaf of int list * string
+  | P_ext of int list * Hash.t
+  | P_branch of Hash.t option array * string option
+
+let parse s =
+  let r = Codec.reader s in
+  let parsed =
+    match Char.chr (Codec.read_byte r) with
+    | 'L' ->
+      let ns = read_nibbles r in
+      P_leaf (ns, Codec.read_string r)
+    | 'E' ->
+      let ns = read_nibbles r in
+      P_ext (ns, Codec.read_string r)
+    | 'B' ->
+      let children =
+        Array.init 16 (fun _ -> Codec.read_option r Codec.read_string)
+      in
+      P_branch (children, Codec.read_option r Codec.read_string)
+    | _ -> raise (Codec.Malformed "node tag")
+  in
+  if not (Codec.at_end r) then raise (Codec.Malformed "trailing bytes");
+  parsed
+
+let with_hash store mk =
+  let provisional = mk Hash.empty in
+  let bytes = serialize provisional in
+  let hash = Hash.of_string bytes in
+  (match store with
+   | Some s -> Storage.Node_store.put s hash bytes
+   | None -> ());
+  mk hash
+
+let mk_leaf store suffix value =
+  with_hash store (fun hash -> Leaf { suffix; value; hash })
+
+let mk_ext store prefix child =
+  match (prefix, child) with
+  | [], _ -> child
+  | _, Ext { prefix = p2; child = c2; _ } ->
+    (* Merge nested extensions to keep the trie canonical. *)
+    with_hash store (fun hash -> Ext { prefix = prefix @ p2; child = c2; hash })
+  | _ -> with_hash store (fun hash -> Ext { prefix; child; hash })
+
+let mk_branch store children value =
+  with_hash store (fun hash -> Branch { children; value; hash })
+
+let empty = { root = None; count = 0; store = None }
+
+let empty_with_store s = { root = None; count = 0; store = Some s }
+
+let root_hash t =
+  match t.root with None -> Hash.empty | Some n -> node_hash n
+
+let cardinal t = t.count
+
+let rec strip_prefix pre path =
+  match (pre, path) with
+  | [], rest -> Some rest
+  | p :: pre', q :: path' when p = q -> strip_prefix pre' path'
+  | _ -> None
+
+let rec get_node node path =
+  match node with
+  | Leaf { suffix; value; _ } -> if suffix = path then Some value else None
+  | Ext { prefix; child; _ } ->
+    (match strip_prefix prefix path with
+     | Some rest -> get_node child rest
+     | None -> None)
+  | Branch { children; value; _ } ->
+    (match path with
+     | [] -> value
+     | n :: rest ->
+       (match children.(n) with
+        | Some c -> get_node c rest
+        | None -> None))
+
+let get t key =
+  match t.root with
+  | None -> None
+  | Some n -> get_node n (nibbles_of_key key)
+
+let common_prefix a b =
+  let rec go acc a b =
+    match (a, b) with
+    | x :: a', y :: b' when x = y -> go (x :: acc) a' b'
+    | _ -> (List.rev acc, a, b)
+  in
+  go [] a b
+
+let rec set_node st node path value =
+  match node with
+  | Leaf { suffix; value = v0; _ } ->
+    if suffix = path then mk_leaf st path value
+    else begin
+      let pre, rest_old, rest_new = common_prefix suffix path in
+      let children = Array.make 16 None in
+      let branch_value = ref None in
+      (match rest_old with
+       | [] -> branch_value := Some v0
+       | n :: tl -> children.(n) <- Some (mk_leaf st tl v0));
+      (match rest_new with
+       | [] -> branch_value := Some value
+       | n :: tl -> children.(n) <- Some (mk_leaf st tl value));
+      mk_ext st pre (mk_branch st children !branch_value)
+    end
+  | Ext { prefix; child; _ } ->
+    (match strip_prefix prefix path with
+     | Some rest -> mk_ext st prefix (set_node st child rest value)
+     | None ->
+       let pre, rest_pref, rest_new = common_prefix prefix path in
+       let children = Array.make 16 None in
+       let branch_value = ref None in
+       (match rest_pref with
+        | [] -> assert false (* strip_prefix would have succeeded *)
+        | n :: tl -> children.(n) <- Some (mk_ext st tl child));
+       (match rest_new with
+        | [] -> branch_value := Some value
+        | n :: tl -> children.(n) <- Some (mk_leaf st tl value));
+       mk_ext st pre (mk_branch st children !branch_value))
+  | Branch { children; value = v0; _ } ->
+    (match path with
+     | [] -> mk_branch st (Array.copy children) (Some value)
+     | n :: rest ->
+       let children = Array.copy children in
+       children.(n) <-
+         Some
+           (match children.(n) with
+            | None -> mk_leaf st rest value
+            | Some c -> set_node st c rest value);
+       mk_branch st children v0)
+
+let set t key value =
+  let path = nibbles_of_key key in
+  let existed = get t key <> None in
+  let root =
+    match t.root with
+    | None -> mk_leaf t.store path value
+    | Some n -> set_node t.store n path value
+  in
+  { t with root = Some root;
+           count = (if existed then t.count else t.count + 1) }
+
+let set_batch t kvs =
+  match kvs with
+  | [] -> t
+  | _ ->
+    (* Apply the updates without persisting intermediate tries, then walk
+       the final trie and persist the nodes that did not exist before —
+       exactly what a batched writer flushes. *)
+    let detached = { t with store = None } in
+    let t' = List.fold_left (fun acc (k, v) -> set acc k v) detached kvs in
+    (match t.store with
+     | None -> ()
+     | Some store ->
+       let rec persist node =
+         let h = node_hash node in
+         if not (Storage.Node_store.mem store h) then begin
+           Storage.Node_store.put store h (serialize node);
+           match node with
+           | Leaf _ -> ()
+           | Ext { child; _ } -> persist child
+           | Branch { children; _ } ->
+             Array.iter
+               (function Some c -> persist c | None -> ())
+               children
+         end
+       in
+       Option.iter persist t'.root);
+    { t' with store = t.store }
+
+let bindings t =
+  let out = ref [] in
+  let rec walk prefix node =
+    match node with
+    | Leaf { suffix; value; _ } ->
+      out := (key_of_nibbles (prefix @ suffix), value) :: !out
+    | Ext { prefix = p; child; _ } -> walk (prefix @ p) child
+    | Branch { children; value; _ } ->
+      (match value with
+       | Some v -> out := (key_of_nibbles prefix, v) :: !out
+       | None -> ());
+      Array.iteri
+        (fun i c ->
+          match c with Some c -> walk (prefix @ [ i ]) c | None -> ())
+        children
+  in
+  (match t.root with None -> () | Some n -> walk [] n);
+  List.sort (fun (a, _) (b, _) -> String.compare a b) !out
+
+type proof = string list (* serialized nodes from root downward *)
+
+let proof_size_bytes p =
+  List.fold_left (fun acc s -> acc + String.length s + 4) 0 p
+
+let prove t key =
+  let rec go node path acc =
+    let acc = serialize node :: acc in
+    match node with
+    | Leaf _ -> acc
+    | Ext { prefix; child; _ } ->
+      (match strip_prefix prefix path with
+       | Some rest -> go child rest acc
+       | None -> acc)
+    | Branch { children; _ } ->
+      (match path with
+       | [] -> acc
+       | n :: rest ->
+         (match children.(n) with
+          | Some c -> go c rest acc
+          | None -> acc))
+  in
+  match t.root with
+  | None -> []
+  | Some n -> List.rev (go n (nibbles_of_key key) [])
+
+let verify ~root ~key ~value proof =
+  let rec go expected path proof =
+    match proof with
+    | [] -> Hash.equal expected Hash.empty && value = None
+    | s :: rest ->
+      if not (Hash.equal (Hash.of_string s) expected) then false
+      else begin
+        match parse s with
+        | P_leaf (suffix, v) ->
+          if suffix = path then rest = [] && value = Some v
+          else rest = [] && value = None
+        | P_ext (prefix, child) ->
+          (match strip_prefix prefix path with
+           | Some rest_path -> go child rest_path rest
+           | None -> rest = [] && value = None)
+        | P_branch (children, v) ->
+          (match path with
+           | [] -> rest = [] && value = v
+           | n :: rest_path ->
+             (match children.(n) with
+              | None -> rest = [] && value = None
+              | Some child -> go child rest_path rest))
+        | exception Codec.Malformed _ -> false
+      end
+  in
+  go root (nibbles_of_key key) proof

@@ -1,0 +1,49 @@
+(** Immutable Merkle Patricia Trie (the structure behind LedgerDB's ccMPT).
+
+    Maps string keys to string values along nibble paths.  Every update
+    copies the path from root to leaf, so old roots remain valid snapshots.
+    Proofs are the serialized nodes along the lookup path and authenticate
+    both presence (with the value) and absence. *)
+
+open Glassdb_util
+
+type t
+(** A trie snapshot; immutable. *)
+
+val empty : t
+
+val empty_with_store : Storage.Node_store.t -> t
+(** Like {!empty}, but every fresh node is persisted to (and its write cost
+    charged against) the given content-addressed store — used by LedgerDB*'s
+    ccMPT so its authenticated-structure maintenance is accounted like every
+    other system's. *)
+
+val root_hash : t -> Hash.t
+(** [Hash.empty] for the empty trie. *)
+
+val cardinal : t -> int
+
+val get : t -> string -> string option
+
+val set : t -> string -> string -> t
+(** Insert or replace; returns the new snapshot. *)
+
+val set_batch : t -> (string * string) list -> t
+(** Apply many updates as one batch: only the nodes of the *final* trie
+    that are new to the backing store are persisted (and charged), the way
+    a batched flusher writes. *)
+
+val bindings : t -> (string * string) list
+(** All key/value pairs, sorted by key. *)
+
+type proof
+
+val proof_size_bytes : proof -> int
+
+val prove : t -> string -> proof
+(** Proof of the key's current presence-with-value or absence. *)
+
+val verify :
+  root:Hash.t -> key:string -> value:string option -> proof -> bool
+(** Checks the proof against a trusted root: [value = Some v] asserts the
+    binding, [None] asserts absence. *)

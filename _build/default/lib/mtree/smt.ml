@@ -1,0 +1,301 @@
+open Glassdb_util
+
+(* Compressed sparse Merkle tree.  A leaf is stored at the shallowest depth
+   where its path no longer collides with another key; its contribution to
+   the parent hash is computed by extending the leaf hash with default
+   hashes down the remaining levels, exactly as if the complete-depth tree
+   were materialized. *)
+
+type node =
+  | Empty
+  | Leaf of { path : int64; key : string; value : string; hkv : Hash.t }
+  | Node of { left : node; right : node; hash : Hash.t }
+
+type t = {
+  tree_depth : int;
+  defaults : Hash.t array; (* defaults.(h) = hash of empty subtree of height h *)
+  root : node;
+  count : int;
+}
+
+let max_depth = 64
+
+let default_leaf = Hash.leaf "smt:empty"
+
+let make_defaults depth =
+  let d = Array.make (depth + 1) default_leaf in
+  for h = 1 to depth do
+    d.(h) <- Hash.interior d.(h - 1) d.(h - 1)
+  done;
+  d
+
+let create ?(depth = max_depth) () =
+  if depth < 1 || depth > max_depth then invalid_arg "Smt.create";
+  { tree_depth = depth; defaults = make_defaults depth; root = Empty; count = 0 }
+
+let depth t = t.tree_depth
+let cardinal t = t.count
+
+let path_of_key t key =
+  let h = Hash.of_string key in
+  let p = ref 0L in
+  for i = 0 to 7 do
+    p := Int64.logor (Int64.shift_left !p 8) (Int64.of_int (Char.code h.[i]))
+  done;
+  if t.tree_depth = max_depth then !p
+  else Int64.shift_right_logical !p (max_depth - t.tree_depth)
+
+(* Bit of [path] at level [d] counted from the root: the most significant of
+   the [tree_depth] path bits is level 0. *)
+let bit t path d =
+  Int64.logand (Int64.shift_right_logical path (t.tree_depth - 1 - d)) 1L = 1L
+
+(* Hash of the complete-depth subtree represented by [node] rooted at level
+   [d] (i.e. of height tree_depth - d). *)
+let node_hash t node d =
+  match node with
+  | Empty -> t.defaults.(t.tree_depth - d)
+  | Node { hash; _ } -> hash
+  | Leaf { path; hkv; _ } ->
+    (* Extend the leaf hash with empty siblings up from the bottom. *)
+    let h = ref hkv in
+    for level = t.tree_depth - 1 downto d do
+      let sibling = t.defaults.(t.tree_depth - 1 - level) in
+      h :=
+        if bit t path level then Hash.interior sibling !h
+        else Hash.interior !h sibling
+    done;
+    !h
+
+let mk_node t d left right =
+  let hash = Hash.interior (node_hash t left (d + 1)) (node_hash t right (d + 1)) in
+  Node { left; right; hash }
+
+let leaf_of t key value =
+  Leaf { path = path_of_key t key; key; value; hkv = Hash.kv key value }
+
+let rec get_node t node path d =
+  match node with
+  | Empty -> None
+  | Leaf l -> if Int64.equal l.path path then Some l.value else None
+  | Node { left; right; _ } ->
+    if d >= t.tree_depth then None
+    else if bit t path d then get_node t right path (d + 1)
+    else get_node t left path (d + 1)
+
+let get t key =
+  match get_node t t.root (path_of_key t key) 0 with
+  | Some v -> Some v
+  | None -> None
+
+let rec set_node t node path leaf d =
+  match node with
+  | Empty -> leaf
+  | Leaf l when Int64.equal l.path path ->
+    (match leaf with
+     | Leaf nl when not (String.equal nl.key l.key) ->
+       (* 64-bit path collision between distinct keys: astronomically
+          unlikely; fail loudly rather than corrupt the map. *)
+       failwith "Smt: path collision between distinct keys"
+     | _ -> leaf)
+  | Leaf l ->
+    (* Split: push the existing leaf down until the paths diverge. *)
+    if d >= t.tree_depth then failwith "Smt: depth exhausted"
+    else begin
+      let new_goes_right = bit t path d and old_goes_right = bit t l.path d in
+      if new_goes_right = old_goes_right then begin
+        let child = set_node t node path leaf (d + 1) in
+        if new_goes_right then mk_node t d Empty child
+        else mk_node t d child Empty
+      end
+      else if new_goes_right then mk_node t d node leaf
+      else mk_node t d leaf node
+    end
+  | Node { left; right; _ } ->
+    if bit t path d then mk_node t d left (set_node t right path leaf (d + 1))
+    else mk_node t d (set_node t left path leaf (d + 1)) right
+
+let set t key value =
+  let path = path_of_key t key in
+  let existed = get t key <> None in
+  let root = set_node t t.root path (leaf_of t key value) 0 in
+  { t with root; count = (if existed then t.count else t.count + 1) }
+
+let set_batch t kvs = List.fold_left (fun t (k, v) -> set t k v) t kvs
+
+let root_hash t = node_hash t t.root 0
+
+type proof = {
+  siblings : Hash.t list; (* non-default siblings, root-to-leaf order *)
+  bitmap : int64;         (* bit (depth-1-level) set when sibling non-default *)
+  proof_depth : int;
+}
+
+let proof_size_bytes p =
+  (List.length p.siblings * Hash.size) + 8 + 4
+
+let prove t key =
+  let path = path_of_key t key in
+  let rec go node d acc =
+    match node with
+    | Empty -> raise Not_found
+    | Leaf l ->
+      if Int64.equal l.path path && String.equal l.key key then acc
+      else raise Not_found
+    | Node { left; right; _ } ->
+      let taken_right = bit t path d in
+      let sibling = if taken_right then left else right in
+      let next = if taken_right then right else left in
+      let sib_hash = node_hash t sibling (d + 1) in
+      let is_default = Hash.equal sib_hash t.defaults.(t.tree_depth - 1 - d) in
+      let acc =
+        if is_default then acc
+        else
+          { acc with
+            siblings = sib_hash :: acc.siblings;
+            bitmap =
+              Int64.logor acc.bitmap
+                (Int64.shift_left 1L (t.tree_depth - 1 - d)) }
+      in
+      go next (d + 1) acc
+  in
+  let init = { siblings = []; bitmap = 0L; proof_depth = t.tree_depth } in
+  let p = go t.root 0 init in
+  { p with siblings = List.rev p.siblings }
+
+(* Non-inclusion: the siblings down to the point where the key's path
+   meets either an empty subtree or another key's leaf.  The verifier
+   recomputes the root from that terminal (default hash, or the residual
+   leaf extended along its own path) and checks the divergence. *)
+type absence_proof = {
+  a_siblings : Hash.t list; (* root-to-terminal order *)
+  a_bitmap : int64;
+  a_depth : int;            (* tree depth *)
+  a_stop : int;             (* level of the terminal subtree *)
+  a_residual : (string * string) option; (* other key/value on the path *)
+}
+
+let absence_proof_size_bytes p =
+  (List.length p.a_siblings * Hash.size)
+  + 16
+  + (match p.a_residual with
+     | Some (k, v) -> String.length k + String.length v + 8
+     | None -> 0)
+
+let prove_absent t key =
+  if get t key <> None then invalid_arg "Smt.prove_absent: key present";
+  let path = path_of_key t key in
+  let rec go node d sibs bitmap =
+    match node with
+    | Empty ->
+      { a_siblings = List.rev sibs; a_bitmap = bitmap; a_depth = t.tree_depth;
+        a_stop = d; a_residual = None }
+    | Leaf l ->
+      { a_siblings = List.rev sibs; a_bitmap = bitmap; a_depth = t.tree_depth;
+        a_stop = d; a_residual = Some (l.key, l.value) }
+    | Node { left; right; _ } ->
+      let taken_right = bit t path d in
+      let sibling = if taken_right then left else right in
+      let next = if taken_right then right else left in
+      let sib_hash = node_hash t sibling (d + 1) in
+      let is_default = Hash.equal sib_hash t.defaults.(t.tree_depth - 1 - d) in
+      let sibs, bitmap =
+        if is_default then (sibs, bitmap)
+        else
+          ( sib_hash :: sibs,
+            Int64.logor bitmap (Int64.shift_left 1L (t.tree_depth - 1 - d)) )
+      in
+      go next (d + 1) sibs bitmap
+  in
+  go t.root 0 [] 0L
+
+let verify_absent ~root ~key proof =
+  let d = proof.a_depth in
+  if d < 1 || d > max_depth || proof.a_stop > d then false
+  else begin
+    let t =
+      { tree_depth = d; defaults = make_defaults d; root = Empty; count = 0 }
+    in
+    let path = path_of_key t key in
+    (* Terminal subtree hash at level a_stop. *)
+    let terminal =
+      match proof.a_residual with
+      | None -> t.defaults.(d - proof.a_stop)
+      | Some (k, v) ->
+        let rpath = path_of_key t k in
+        (* The residual key must share the path prefix above a_stop but be
+           a different key (otherwise this "absence" hides a presence). *)
+        if String.equal k key then Hash.empty
+        else begin
+          let h = ref (Hash.kv k v) in
+          for level = d - 1 downto proof.a_stop do
+            let sibling = t.defaults.(d - 1 - level) in
+            h :=
+              if bit t rpath level then Hash.interior sibling !h
+              else Hash.interior !h sibling
+          done;
+          !h
+        end
+    in
+    (* Prefix agreement: the residual leaf must live under the same branch. *)
+    let prefix_ok =
+      match proof.a_residual with
+      | None -> true
+      | Some (k, _) ->
+        let rpath = path_of_key t k in
+        let ok = ref (not (String.equal k key)) in
+        for level = 0 to proof.a_stop - 1 do
+          if bit t rpath level <> bit t path level then ok := false
+        done;
+        !ok
+    in
+    let siblings_rev = List.rev proof.a_siblings in
+    let h = ref terminal and rest = ref siblings_rev and ok = ref prefix_ok in
+    for level = proof.a_stop - 1 downto 0 do
+      let non_default =
+        Int64.logand proof.a_bitmap (Int64.shift_left 1L (d - 1 - level)) <> 0L
+      in
+      let sibling =
+        if non_default then
+          match !rest with
+          | s :: tl -> rest := tl; s
+          | [] -> ok := false; t.defaults.(d - 1 - level)
+        else t.defaults.(d - 1 - level)
+      in
+      h :=
+        if bit t path level then Hash.interior sibling !h
+        else Hash.interior !h sibling
+    done;
+    !ok && !rest = [] && Hash.equal !h root
+  end
+
+let verify ~root ~key ~value proof =
+  let d = proof.proof_depth in
+  if d < 1 || d > max_depth then false
+  else begin
+    let t = { tree_depth = d; defaults = make_defaults d; root = Empty; count = 0 } in
+    let path = path_of_key t key in
+    (* Fold from the bottom: levels with a cleared bitmap bit use the default
+       sibling; others consume the next provided sibling (bottom-up means the
+       list, which is root-to-leaf, is consumed from the end). *)
+    let siblings_rev = List.rev proof.siblings in
+    let h = ref (Hash.kv key value) in
+    let rest = ref siblings_rev in
+    let ok = ref true in
+    for level = d - 1 downto 0 do
+      let non_default =
+        Int64.logand proof.bitmap (Int64.shift_left 1L (d - 1 - level)) <> 0L
+      in
+      let sibling =
+        if non_default then
+          match !rest with
+          | s :: tl -> rest := tl; s
+          | [] -> ok := false; t.defaults.(d - 1 - level)
+        else t.defaults.(d - 1 - level)
+      in
+      h :=
+        if bit t path level then Hash.interior sibling !h
+        else Hash.interior !h sibling
+    done;
+    !ok && !rest = [] && Hash.equal !h root
+  end

@@ -1,0 +1,49 @@
+(** Sparse Merkle tree: the verifiable map used by Trillian-style systems.
+
+    Keys are hashed onto a fixed-depth binary path (default 64 levels);
+    absent subtrees hash to precomputed per-level defaults, so the logical
+    tree is complete while the physical representation stores only the
+    populated spine.  Snapshots are immutable: {!set} copies the path.
+
+    Inclusion proofs carry only the non-default siblings plus a bitmap,
+    giving the O(log m) proof size of Table 1. *)
+
+open Glassdb_util
+
+type t
+
+val create : ?depth:int -> unit -> t
+(** [depth] in [1, 64]; default 64. *)
+
+val depth : t -> int
+val cardinal : t -> int
+val root_hash : t -> Hash.t
+
+val get : t -> string -> string option
+
+val set : t -> string -> string -> t
+(** Insert or replace a binding; returns the new snapshot. *)
+
+val set_batch : t -> (string * string) list -> t
+(** Apply many updates; later bindings win on duplicate keys. *)
+
+type proof
+
+val proof_size_bytes : proof -> int
+
+val prove : t -> string -> proof
+(** Proof for a key currently present.  Raises [Not_found] otherwise. *)
+
+val verify : root:Hash.t -> key:string -> value:string -> proof -> bool
+
+type absence_proof
+(** Non-inclusion (the revocation-style proofs ECT adds to transparency
+    maps): either the path ends in an empty subtree, or a *different* key's
+    leaf sits on it. *)
+
+val absence_proof_size_bytes : absence_proof -> int
+
+val prove_absent : t -> string -> absence_proof
+(** Raises [Invalid_argument] if the key is present. *)
+
+val verify_absent : root:Hash.t -> key:string -> absence_proof -> bool

@@ -1,0 +1,1 @@
+lib/postree/chunker.ml: Array Char Glassdb_util Int64 List String

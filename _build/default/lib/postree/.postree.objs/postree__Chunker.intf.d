@@ -1,0 +1,1 @@
+lib/postree/chunker.mli: Glassdb_util

@@ -1,0 +1,1 @@
+lib/postree/pos_tree.ml: Array Buffer Char Chunker Codec Glassdb_util Hash Hashtbl List Storage String Work

@@ -1,0 +1,1 @@
+lib/postree/pos_tree.mli: Buffer Codec Glassdb_util Hash Storage

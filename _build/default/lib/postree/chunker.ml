@@ -1,0 +1,61 @@
+type item = {
+  ikey : string;
+  payload : string;
+  mutable memo : Glassdb_util.Hash.t option;
+}
+
+let item ~key ~payload = { ikey = key; payload; memo = None }
+let item_key it = it.ikey
+let item_payload it = it.payload
+
+let item_hash it =
+  match it.memo with
+  | Some h -> h
+  | None ->
+    let h = Glassdb_util.Hash.kv it.ikey it.payload in
+    it.memo <- Some h;
+    h
+
+let fnv_add h s =
+  let h = ref h in
+  String.iter
+    (fun c ->
+      h :=
+        Int64.mul
+          (Int64.logxor !h (Int64.of_int (Char.code c)))
+          0x100000001B3L)
+    s;
+  !h
+
+(* murmur3 finalizer: FNV's low bits avalanche poorly (multiplication only
+   propagates upward), and the boundary test reads the low bits. *)
+let mix z =
+  let z = Int64.logxor z (Int64.shift_right_logical z 33) in
+  let z = Int64.mul z 0xFF51AFD7ED558CCDL in
+  let z = Int64.logxor z (Int64.shift_right_logical z 33) in
+  let z = Int64.mul z 0xC4CEB9FE1A85EC53L in
+  Int64.logxor z (Int64.shift_right_logical z 33)
+
+let fingerprint it =
+  let h = fnv_add 0xCBF29CE484222325L it.ikey in
+  let h = fnv_add (Int64.mul h 0x100000001B3L) it.payload in
+  mix h
+
+let is_boundary ~pattern_bits it =
+  if pattern_bits < 0 || pattern_bits > 30 then
+    invalid_arg "Chunker.is_boundary: pattern_bits";
+  let mask = Int64.of_int ((1 lsl pattern_bits) - 1) in
+  Int64.logand (fingerprint it) mask = 0L
+
+let chunk_seq ~pattern_bits items =
+  let chunks = ref [] and cur = ref [] in
+  List.iter
+    (fun it ->
+      cur := it :: !cur;
+      if is_boundary ~pattern_bits it then begin
+        chunks := Array.of_list (List.rev !cur) :: !chunks;
+        cur := []
+      end)
+    items;
+  if !cur <> [] then chunks := Array.of_list (List.rev !cur) :: !chunks;
+  List.rev !chunks

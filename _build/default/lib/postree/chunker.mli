@@ -1,0 +1,29 @@
+(** Content-defined chunking for POS-trees.
+
+    An item closes its chunk when the low [pattern_bits] bits of a cheap
+    content fingerprint are all zero, so the expected chunk size is
+    [2^pattern_bits] items and — crucially — chunk boundaries depend only on
+    item *content*, never on position or update history.  This is what makes
+    the POS-tree a Structurally Invariant and Reusable Index: the same map
+    contents always produce the same tree. *)
+
+type item
+(** A key/payload pair with a memoized content hash. *)
+
+val item : key:string -> payload:string -> item
+val item_key : item -> string
+val item_payload : item -> string
+
+val item_hash : item -> Glassdb_util.Hash.t
+(** [Hash.kv key payload], computed once per item and cached — rebuilding a
+    chunk re-hashes only the items that actually changed. *)
+
+val fingerprint : item -> int64
+(** FNV-1a over key and payload; not cryptographic, mirrors the rolling
+    pattern matcher of the paper's implementation. *)
+
+val is_boundary : pattern_bits:int -> item -> bool
+
+val chunk_seq : pattern_bits:int -> item list -> item array list
+(** Split a sequence into chunks, each ending at a boundary item except
+    possibly the last.  Empty input gives no chunks. *)

@@ -1,0 +1,568 @@
+open Glassdb_util
+
+type config = {
+  store : Storage.Node_store.t;
+  pattern_bits : int;
+}
+
+let config ?(pattern_bits = 5) store =
+  if pattern_bits < 1 || pattern_bits > 20 then
+    invalid_arg "Pos_tree.config: pattern_bits";
+  { store; pattern_bits }
+
+(* A chunk is one tree node: a sorted run of items closed by a
+   content-defined boundary.  At level 0 items are (key, value); above,
+   items are (first key of child chunk, child chunk hash), and item [i] of
+   the flattened level-l item sequence corresponds exactly to chunk [i] of
+   level l-1 — navigation is positional. *)
+
+type chunk = { items : Chunker.item array; hash : Hash.t }
+
+type level = {
+  chunks : chunk array;
+  offsets : int array; (* offsets.(i) = items in chunks.(0..i-1); length n+1 *)
+}
+
+type t = {
+  cfg : config;
+  levels : level array; (* levels.(0) = leaves; top level has one chunk *)
+  count : int;
+}
+
+(* --- serialization --- *)
+
+let serialize_chunk ~leaf (items : Chunker.item array) =
+  let buf = Buffer.create 256 in
+  Buffer.add_char buf (if leaf then 'L' else 'I');
+  Codec.write_varint buf (Array.length items);
+  Array.iter
+    (fun it ->
+      Codec.write_string buf (Chunker.item_key it);
+      Codec.write_string buf (Chunker.item_payload it))
+    items;
+  Buffer.contents buf
+
+(* Chunk hash: combine of the (memoized) item hashes plus a level tag, so
+   rebuilding a chunk only hashes the items that changed. *)
+let chunk_hash ~leaf items =
+  Hash.combine
+    ((if leaf then Hash.leaf "L" else Hash.leaf "I")
+     :: (Array.to_list items |> List.map Chunker.item_hash))
+
+let parse_chunk s =
+  let r = Codec.reader s in
+  let leaf =
+    match Char.chr (Codec.read_byte r) with
+    | 'L' -> true
+    | 'I' -> false
+    | _ -> raise (Codec.Malformed "chunk tag")
+  in
+  let n = Codec.read_varint r in
+  let items =
+    Array.init n (fun _ ->
+        let ikey = Codec.read_string r in
+        let payload = Codec.read_string r in
+        Chunker.item ~key:ikey ~payload)
+  in
+  if not (Codec.at_end r) then raise (Codec.Malformed "chunk trailing bytes");
+  (leaf, items)
+
+let mk_chunk cfg ~leaf items =
+  let hash = chunk_hash ~leaf items in
+  Storage.Node_store.put cfg.store hash (serialize_chunk ~leaf items);
+  { items; hash }
+
+let first_key c = Chunker.item_key c.items.(0)
+
+let mk_level chunks =
+  let n = Array.length chunks in
+  let offsets = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    offsets.(i + 1) <- offsets.(i) + Array.length chunks.(i).items
+  done;
+  { chunks; offsets }
+
+let level_items lv = lv.offsets.(Array.length lv.chunks)
+
+(* --- construction --- *)
+
+let empty cfg = { cfg; levels = [||]; count = 0 }
+
+let is_empty t = Array.length t.levels = 0
+
+let cardinal t = t.count
+
+let height t = Array.length t.levels
+
+let root_hash t =
+  let n = Array.length t.levels in
+  if n = 0 then Hash.empty
+  else t.levels.(n - 1).chunks.(0).hash
+
+(* Build levels above [chunks] until a single chunk remains.  A level may
+   transiently fail to shrink when every chunk happens to end at a boundary;
+   the next level's fingerprints are fresh hashes, so this converges — the
+   depth bound only guards against a (cryptographically impossible)
+   adversarial loop. *)
+let rec build_up ?(depth = 0) cfg acc chunks =
+  if depth > 200 then failwith "Pos_tree: level stack too deep";
+  if Array.length chunks <= 1 then List.rev (mk_level chunks :: acc)
+  else begin
+    let items =
+      Array.to_list chunks
+      |> List.map (fun c -> Chunker.item ~key:(first_key c) ~payload:c.hash)
+    in
+    let above =
+      Chunker.chunk_seq ~pattern_bits:cfg.pattern_bits items
+      |> List.map (mk_chunk cfg ~leaf:false)
+      |> Array.of_list
+    in
+    build_up ~depth:(depth + 1) cfg (mk_level chunks :: acc) above
+  end
+
+let of_sorted_items cfg items count =
+  match items with
+  | [] -> empty cfg
+  | _ ->
+    let leaves =
+      Chunker.chunk_seq ~pattern_bits:cfg.pattern_bits items
+      |> List.map (mk_chunk cfg ~leaf:true)
+      |> Array.of_list
+    in
+    { cfg; levels = Array.of_list (build_up cfg [] leaves); count }
+
+(* --- lookup --- *)
+
+(* Index of the chunk whose item range contains global position [pos]. *)
+let chunk_of_pos lv pos =
+  let n = Array.length lv.chunks in
+  if pos >= level_items lv then n - 1
+  else begin
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if lv.offsets.(mid + 1) <= pos then lo := mid + 1 else hi := mid
+    done;
+    !lo
+  end
+
+(* Within an index chunk, the child to descend into: the last item with
+   ikey <= key, or item 0 when the key precedes everything. *)
+let route_index (items : Chunker.item array) key =
+  let lo = ref 0 and hi = ref (Array.length items - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi + 1) / 2 in
+    if String.compare (Chunker.item_key items.(mid)) key <= 0 then lo := mid
+    else hi := mid - 1
+  done;
+  !lo
+
+(* Exact binary search in a leaf chunk. *)
+let find_leaf (items : Chunker.item array) key =
+  let lo = ref 0 and hi = ref (Array.length items) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if String.compare (Chunker.item_key items.(mid)) key < 0 then lo := mid + 1
+    else hi := mid
+  done;
+  if !lo < Array.length items
+     && String.equal (Chunker.item_key items.(!lo)) key
+  then Some (Chunker.item_payload items.(!lo))
+  else None
+
+let get t key =
+  let top = Array.length t.levels - 1 in
+  if top < 0 then None
+  else begin
+    let rec descend l ci =
+      Work.note_page_read ();
+      let chunk = t.levels.(l).chunks.(ci) in
+      if l = 0 then find_leaf chunk.items key
+      else begin
+        let idx = route_index chunk.items key in
+        descend (l - 1) (t.levels.(l).offsets.(ci) + idx)
+      end
+    in
+    descend top 0
+  end
+
+let bindings t =
+  if is_empty t then []
+  else
+    Array.to_list t.levels.(0).chunks
+    |> List.concat_map (fun c ->
+           Array.to_list c.items
+           |> List.map (fun it -> (Chunker.item_key it, Chunker.item_payload it)))
+
+(* --- incremental update --- *)
+
+(* A positional patch replaces item positions [start, stop) with [items]. *)
+type patch = { start : int; stop : int; pitems : Chunker.item list }
+
+(* Convert key upserts into leaf-level positional patches; returns the
+   patches and the number of fresh insertions. *)
+let leaf_patches lv updates =
+  let inserted = ref 0 in
+  let raw =
+    List.map
+      (fun (k, v) ->
+        let item = Chunker.item ~key:k ~payload:v in
+        (* Locate the chunk by first key. *)
+        let n = Array.length lv.chunks in
+        let lo = ref 0 and hi = ref (n - 1) in
+        while !lo < !hi do
+          let mid = (!lo + !hi + 1) / 2 in
+          if String.compare (first_key lv.chunks.(mid)) k <= 0 then lo := mid
+          else hi := mid - 1
+        done;
+        let ci = !lo in
+        let items = lv.chunks.(ci).items in
+        let base = lv.offsets.(ci) in
+        let l = ref 0 and h = ref (Array.length items) in
+        while !l < !h do
+          let mid = (!l + !h) / 2 in
+          if String.compare (Chunker.item_key items.(mid)) k < 0 then
+            l := mid + 1
+          else h := mid
+        done;
+        if !l < Array.length items
+           && String.equal (Chunker.item_key items.(!l)) k
+        then { start = base + !l; stop = base + !l + 1; pitems = [ item ] }
+        else begin
+          incr inserted;
+          { start = base + !l; stop = base + !l; pitems = [ item ] }
+        end)
+      updates
+  in
+  let sorted =
+    List.sort
+      (fun a b ->
+        match compare a.start b.start with
+        | 0 -> compare a.stop b.stop
+        | c -> c)
+      raw
+  in
+  (* Coalesce insertions sharing a position, keeping key order. *)
+  let rec coalesce = function
+    | a :: b :: rest when a.start = b.start && a.stop = a.start && b.stop = b.start ->
+      let merged =
+        List.sort
+          (fun x y ->
+            String.compare (Chunker.item_key x) (Chunker.item_key y))
+          (a.pitems @ b.pitems)
+      in
+      coalesce ({ a with pitems = merged } :: rest)
+    | a :: rest -> a :: coalesce rest
+    | [] -> []
+  in
+  (coalesce sorted, !inserted)
+
+(* Splice sorted, non-overlapping patches into the flattened items of chunks
+   [lo, hi); [base] is the global position of the first item. *)
+let splice_region lv ~lo ~hi patches =
+  let base = lv.offsets.(lo) in
+  let items =
+    Array.concat
+      (List.init (hi - lo) (fun k -> lv.chunks.(lo + k).items))
+  in
+  let buf = ref [] and pos = ref 0 in
+  List.iter
+    (fun p ->
+      let s = p.start - base and e = p.stop - base in
+      for i = !pos to s - 1 do
+        buf := items.(i) :: !buf
+      done;
+      List.iter (fun it -> buf := it :: !buf) p.pitems;
+      pos := e)
+    patches;
+  for i = !pos to Array.length items - 1 do
+    buf := items.(i) :: !buf
+  done;
+  List.rev !buf
+
+(* Rebuild one level given positional patches (sorted by start, disjoint);
+   returns the new chunk array and the patches to apply one level up, in
+   chunk-index coordinates.
+
+   The level is processed as *regions*: a region starts at the first chunk
+   touched by a pending patch and absorbs further chunks while (a) a patch
+   starts inside or spans past the absorbed range, or (b) re-chunking ends
+   without a boundary item, meaning the trailing chunk would swallow its
+   old successor. *)
+let rebuild_level cfg ~leaf lv patches =
+  let n = Array.length lv.chunks in
+  let patch_chunk p = chunk_of_pos lv p.start in
+  let patch_end_chunk p =
+    if p.stop > p.start then chunk_of_pos lv (p.stop - 1) else patch_chunk p
+  in
+  let out = ref [] and parent_patches = ref [] in
+  let emit c = out := c :: !out in
+  let pending = ref patches in
+  let i = ref 0 in
+  while !i < n do
+    match !pending with
+    | [] ->
+      emit lv.chunks.(!i);
+      incr i
+    | p :: _ when patch_chunk p > !i ->
+      emit lv.chunks.(!i);
+      incr i
+    | _ ->
+      let start_ci = !i in
+      let j = ref (!i + 1) in
+      let region_patches = ref [] in
+      (* Pull every pending patch that starts inside the absorbed chunks,
+         widening the range to cover multi-chunk replacements. *)
+      let pull () =
+        let rec go () =
+          match !pending with
+          | p :: rest when patch_chunk p < !j ->
+            region_patches := p :: !region_patches;
+            pending := rest;
+            if patch_end_chunk p + 1 > !j then j := patch_end_chunk p + 1;
+            go ()
+          | _ -> ()
+        in
+        go ()
+      in
+      pull ();
+      let finished = ref false in
+      let new_chunks = ref [] in
+      while not !finished do
+        let items =
+          splice_region lv ~lo:start_ci ~hi:!j (List.rev !region_patches)
+        in
+        let cs = Chunker.chunk_seq ~pattern_bits:cfg.pattern_bits items in
+        let ends_at_boundary =
+          match List.rev cs with
+          | [] -> true
+          | last :: _ ->
+            Chunker.is_boundary ~pattern_bits:cfg.pattern_bits
+              last.(Array.length last - 1)
+        in
+        if ends_at_boundary || !j >= n then begin
+          new_chunks := cs;
+          finished := true
+        end
+        else begin
+          (* Absorb the next old chunk (and any patches inside it). *)
+          incr j;
+          pull ()
+        end
+      done;
+      let built = List.map (mk_chunk cfg ~leaf) !new_chunks in
+      List.iter emit built;
+      parent_patches :=
+        { start = start_ci;
+          stop = !j;
+          pitems =
+            List.map
+              (fun c -> Chunker.item ~key:(first_key c) ~payload:c.hash)
+              built }
+        :: !parent_patches;
+      i := !j
+  done;
+  (Array.of_list (List.rev !out), List.rev !parent_patches)
+
+let insert_batch t updates =
+  match updates with
+  | [] -> t
+  | _ ->
+    (* Deduplicate keys, last write wins, then sort. *)
+    let tbl = Hashtbl.create (List.length updates) in
+    List.iter (fun (k, v) -> Hashtbl.replace tbl k v) updates;
+    let updates =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    in
+    if is_empty t then
+      of_sorted_items t.cfg
+        (List.map (fun (k, v) -> Chunker.item ~key:k ~payload:v) updates)
+        (List.length updates)
+    else begin
+      let patches0, inserted = leaf_patches t.levels.(0) updates in
+      let nlevels = Array.length t.levels in
+      let rec cascade l patches acc =
+        if patches = [] then
+          (* Nothing changed at this level: retain the remaining levels. *)
+          List.rev acc @ Array.to_list (Array.sub t.levels l (nlevels - l))
+        else if l < nlevels then begin
+          let chunks, up =
+            rebuild_level t.cfg ~leaf:(l = 0) t.levels.(l) patches
+          in
+          let lv = mk_level chunks in
+          if Array.length chunks = 1 then List.rev (lv :: acc)
+          else cascade (l + 1) up (lv :: acc)
+        end
+        else begin
+          (* The old top split: grow new levels above it until a single
+             chunk remains.  Because the old top was one chunk, the patches
+             here cover the whole new level's items. *)
+          let items = List.concat_map (fun p -> p.pitems) patches in
+          let chunks =
+            Chunker.chunk_seq ~pattern_bits:t.cfg.pattern_bits items
+            |> List.map (mk_chunk t.cfg ~leaf:false)
+            |> Array.of_list
+          in
+          List.rev acc @ build_up t.cfg [] chunks
+        end
+      in
+      let levels = cascade 0 patches0 [] in
+      { t with levels = Array.of_list levels; count = t.count + inserted }
+    end
+
+(* --- proofs --- *)
+
+type proof = string list (* serialized chunks, root first *)
+
+let proof_size_bytes p =
+  List.fold_left (fun acc s -> acc + String.length s + 4) 0 p
+
+let encode_proof buf p = Codec.write_list buf Codec.write_string p
+let decode_proof r = Codec.read_list r Codec.read_string
+
+let prove t key =
+  let top = Array.length t.levels - 1 in
+  if top < 0 then []
+  else begin
+    let rec descend l ci acc =
+      let chunk = t.levels.(l).chunks.(ci) in
+      let acc = serialize_chunk ~leaf:(l = 0) chunk.items :: acc in
+      if l = 0 then acc
+      else begin
+        let idx = route_index chunk.items key in
+        descend (l - 1) (t.levels.(l).offsets.(ci) + idx) acc
+      end
+    in
+    List.rev (descend top 0 [])
+  end
+
+let verify ~root ~key ~value proof =
+  match proof with
+  | [] -> Hash.equal root Hash.empty && value = None
+  | _ ->
+    let rec walk expected proof =
+      match proof with
+      | [] -> false
+      | s :: rest ->
+        (match parse_chunk s with
+         | exception Codec.Malformed _ -> false
+         | (_, [||]) -> false
+         | leaf, items ->
+           if not (Hash.equal (chunk_hash ~leaf items) expected) then false
+           else if leaf then
+             (* Leaf chunk: must be the last element of the proof. *)
+             rest = [] && find_leaf items key = value
+           else begin
+             let idx = route_index items key in
+             walk (Chunker.item_payload items.(idx)) rest
+           end)
+    in
+    walk root proof
+
+(* --- verifiable range queries --- *)
+
+let bindings_range t ~lo ~hi =
+  if is_empty t || String.compare lo hi >= 0 then []
+  else
+    bindings t
+    |> List.filter (fun (k, _) ->
+           String.compare lo k <= 0 && String.compare k hi < 0)
+
+type range_proof = string list (* distinct serialized chunks, root included *)
+
+let range_proof_size_bytes p =
+  List.fold_left (fun acc s -> acc + String.length s + 4) 0 p
+
+let encode_range_proof buf p = Codec.write_list buf Codec.write_string p
+let decode_range_proof r = Codec.read_list r Codec.read_string
+
+(* Children of an index chunk that may hold keys in [lo, hi): child i covers
+   [ikey_i, ikey_{i+1}), except child 0 which also covers anything below its
+   first key. *)
+let children_in_range (items : Chunker.item array) ~lo ~hi =
+  let n = Array.length items in
+  let out = ref [] in
+  for i = n - 1 downto 0 do
+    let covers_lo = i = 0 || String.compare (Chunker.item_key items.(i)) lo <= 0 in
+    let first_ge_lo = String.compare (Chunker.item_key items.(i)) lo >= 0 in
+    let below_hi = String.compare (Chunker.item_key items.(i)) hi < 0 in
+    (* Include the child when its span [first, next-first) intersects the
+       range: its first key is below hi, and either its first key is >= lo
+       or it is the rightmost child starting at or below lo. *)
+    let next_first_above_lo =
+      i + 1 >= n || String.compare (Chunker.item_key items.(i + 1)) lo > 0
+    in
+    if below_hi && (first_ge_lo || (covers_lo && next_first_above_lo)) then
+      out := i :: !out
+  done;
+  !out
+
+let prove_range t ~lo ~hi =
+  if is_empty t || String.compare lo hi >= 0 then []
+  else begin
+    let seen = Hashtbl.create 32 in
+    let acc = ref [] in
+    let add ~leaf items =
+      let s = serialize_chunk ~leaf items in
+      if not (Hashtbl.mem seen s) then begin
+        Hashtbl.replace seen s ();
+        acc := s :: !acc
+      end
+    in
+    let rec walk l ci =
+      let chunk = t.levels.(l).chunks.(ci) in
+      add ~leaf:(l = 0) chunk.items;
+      if l > 0 then
+        List.iter
+          (fun idx -> walk (l - 1) (t.levels.(l).offsets.(ci) + idx))
+          (children_in_range chunk.items ~lo ~hi)
+    in
+    walk (Array.length t.levels - 1) 0;
+    List.rev !acc
+  end
+
+(* Re-walk the proof's chunks from the root, recursing into every child
+   whose span intersects the range; returns the certified bindings, or
+   [None] when any chunk is missing, malformed, or unauthentic. *)
+let extract_range ~root ~lo ~hi proof =
+  if String.compare lo hi >= 0 then Some []
+  else if proof = [] then if Hash.equal root Hash.empty then Some [] else None
+  else begin
+    let by_hash = Hashtbl.create 32 in
+    let ok = ref true in
+    List.iter
+      (fun s ->
+        match parse_chunk s with
+        | exception Codec.Malformed _ -> ok := false
+        | leaf, items ->
+          if Array.length items = 0 then ok := false
+          else Hashtbl.replace by_hash (chunk_hash ~leaf items) (leaf, items))
+      proof;
+    let collected = ref [] in
+    let rec walk expected =
+      match Hashtbl.find_opt by_hash expected with
+      | None -> ok := false
+      | Some (true, items) ->
+        Array.iter
+          (fun it ->
+            let k = Chunker.item_key it in
+            if String.compare lo k <= 0 && String.compare k hi < 0 then
+              collected := (k, Chunker.item_payload it) :: !collected)
+          items
+      | Some (false, items) ->
+        List.iter
+          (fun idx -> walk (Chunker.item_payload items.(idx)))
+          (children_in_range items ~lo ~hi)
+    in
+    walk root;
+    if !ok then Some (List.rev !collected) else None
+  end
+
+let verify_range ~root ~lo ~hi ~bindings proof =
+  match extract_range ~root ~lo ~hi proof with
+  | Some certified -> certified = bindings
+  | None -> false
+
+let stats_nodes t =
+  Array.fold_left (fun acc lv -> acc + Array.length lv.chunks) 0 t.levels

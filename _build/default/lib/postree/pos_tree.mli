@@ -1,0 +1,89 @@
+(** Pattern-Oriented Split tree: an immutable, Merkle-ised search tree whose
+    nodes are formed by content-defined chunking (Section 3.3.1).
+
+    Leaves hold sorted key/value items; each upper level indexes the chunks
+    of the level below by (first key, chunk hash) until a single root chunk
+    remains.  The root hash is therefore a digest of the whole map, lookups
+    are O(log m), and — because chunk boundaries depend only on content —
+    the tree is *structurally invariant*: any insertion order yields the
+    same tree, and snapshots sharing content share nodes byte-for-byte in
+    the backing {!Storage.Node_store}.
+
+    Updates are batched and incremental: only the chunks containing touched
+    keys (plus chunks absorbed by boundary shifts) are rebuilt, costing
+    O(batch * log m) rather than O(m). *)
+
+open Glassdb_util
+
+type config = {
+  store : Storage.Node_store.t;  (** chunks are persisted here (deduplicated) *)
+  pattern_bits : int;            (** expected chunk size = [2^pattern_bits] *)
+}
+
+val config : ?pattern_bits:int -> Storage.Node_store.t -> config
+(** Default [pattern_bits] = 5 (expected 32 items per chunk). *)
+
+type t
+(** An immutable snapshot. *)
+
+val empty : config -> t
+val is_empty : t -> bool
+val cardinal : t -> int
+val height : t -> int
+(** Number of levels; 0 for the empty tree. *)
+
+val root_hash : t -> Hash.t
+(** [Hash.empty] for the empty tree. *)
+
+val get : t -> string -> string option
+
+val insert_batch : t -> (string * string) list -> t
+(** Upsert a batch (later bindings win on duplicate keys); returns the new
+    snapshot.  The old snapshot remains valid. *)
+
+val bindings : t -> (string * string) list
+(** All bindings in key order. *)
+
+type proof
+(** Serialized chunks along the root-to-leaf search path. *)
+
+val proof_size_bytes : proof -> int
+val encode_proof : Buffer.t -> proof -> unit
+val decode_proof : Codec.reader -> proof
+
+val prove : t -> string -> proof
+(** Proof of the key's presence-with-value or absence. *)
+
+val verify : root:Hash.t -> key:string -> value:string option -> proof -> bool
+(** Check a proof against a trusted root digest: [Some v] asserts the
+    binding, [None] asserts absence. *)
+
+val stats_nodes : t -> int
+(** Total number of chunks across levels (for size accounting). *)
+
+(* --- verifiable range queries --- *)
+
+val bindings_range : t -> lo:string -> hi:string -> (string * string) list
+(** Bindings with [lo <= key < hi], ascending. *)
+
+type range_proof
+(** The distinct chunks covering every root-to-leaf path that intersects
+    the range; verification recurses into *every* intersecting child, so a
+    server cannot omit entries (completeness) or inject them (soundness). *)
+
+val range_proof_size_bytes : range_proof -> int
+val encode_range_proof : Buffer.t -> range_proof -> unit
+val decode_range_proof : Codec.reader -> range_proof
+
+val prove_range : t -> lo:string -> hi:string -> range_proof
+
+val verify_range :
+  root:Hash.t -> lo:string -> hi:string ->
+  bindings:(string * string) list -> range_proof -> bool
+(** Checks that [bindings] is exactly the tree's content on [lo, hi). *)
+
+val extract_range :
+  root:Hash.t -> lo:string -> hi:string -> range_proof ->
+  (string * string) list option
+(** The bindings a valid proof certifies for [lo, hi); [None] when the
+    proof is malformed, incomplete, or inconsistent with [root]. *)

@@ -1,0 +1,1 @@
+lib/sim/cost.ml: Glassdb_util Sim Work

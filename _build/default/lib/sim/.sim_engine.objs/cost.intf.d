@@ -1,0 +1,1 @@
+lib/sim/cost.mli: Glassdb_util

@@ -1,0 +1,1 @@
+lib/sim/sim.ml: Effect Event_heap List Queue

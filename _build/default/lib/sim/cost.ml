@@ -1,0 +1,37 @@
+open Glassdb_util
+
+type t = {
+  per_op : float;
+  per_hash : float;
+  per_node_write : float;
+  per_byte_write : float;
+  per_page_read : float;
+}
+
+let default =
+  { per_op = 5e-6;
+    per_hash = 0.5e-6;
+    per_node_write = 15e-6;
+    per_byte_write = 20e-9;
+    per_page_read = 0.2e-6 }
+
+let cpu_time t (c : Work.counters) =
+  t.per_op
+  +. (float_of_int c.Work.hashes *. t.per_hash)
+  +. (float_of_int c.Work.page_reads *. t.per_page_read)
+
+let io_time t (c : Work.counters) =
+  (float_of_int c.Work.node_writes *. t.per_node_write)
+  +. (float_of_int c.Work.bytes_written *. t.per_byte_write)
+
+let time_of t c = cpu_time t c +. io_time t c
+
+let split_time t c = (cpu_time t c, io_time t c)
+
+let charged_time t f =
+  let v, c = Work.measure f in
+  let d = time_of t c in
+  Sim.sleep d;
+  (v, d)
+
+let charge t f = fst (charged_time t f)

@@ -1,0 +1,34 @@
+(** Converts measured work ({!Glassdb_util.Work} counter deltas) into
+    simulated service time.
+
+    Every system in the evaluation is charged through the same model, so
+    relative throughputs reflect each design's real hash / IO / page-access
+    counts — the same mechanism that separates the systems on the paper's
+    testbed — rather than per-system tuning. *)
+
+type t = {
+  per_op : float;        (** fixed request-handling overhead, seconds *)
+  per_hash : float;      (** one SHA-256-sized hash computation *)
+  per_node_write : float;(** persisting one authenticated-structure node *)
+  per_byte_write : float;(** additional cost per byte persisted *)
+  per_page_read : float; (** one page / node fetch *)
+}
+
+val default : t
+(** Calibrated to commodity-server magnitudes: 5 us dispatch, 0.5 us per
+    hash, 15 us per node write (amortized SSD), 20 ns/byte, 0.2 us per
+    cached page read. *)
+
+val time_of : t -> Glassdb_util.Work.counters -> float
+
+val split_time : t -> Glassdb_util.Work.counters -> float * float
+(** (cpu seconds, io seconds): dispatch/hash/page-read time vs
+    node-write/byte time.  IO is meant to be slept while holding a
+    per-node disk resource so storage traffic contends realistically. *)
+
+val charge : t -> (unit -> 'a) -> 'a
+(** Run a thunk, measure its work, and {!Sim.sleep} for the corresponding
+    service time.  Must be called inside a simulation. *)
+
+val charged_time : t -> (unit -> 'a) -> 'a * float
+(** Like {!charge} but also returns the charged duration. *)

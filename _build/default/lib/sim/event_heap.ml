@@ -1,0 +1,65 @@
+type 'a entry = { time : float; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable arr : 'a entry array;
+  mutable len : int;
+}
+
+let create () = { arr = [||]; len = 0 }
+let is_empty t = t.len = 0
+let size t = t.len
+
+let less a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow t e =
+  let cap = Array.length t.arr in
+  if t.len = cap then begin
+    let ncap = max 16 (2 * cap) in
+    let na = Array.make ncap e in
+    Array.blit t.arr 0 na 0 t.len;
+    t.arr <- na
+  end
+
+let push t ~time ~seq payload =
+  let e = { time; seq; payload } in
+  grow t e;
+  t.arr.(t.len) <- e;
+  t.len <- t.len + 1;
+  (* sift up *)
+  let i = ref (t.len - 1) in
+  while !i > 0 && less t.arr.(!i) t.arr.((!i - 1) / 2) do
+    let p = (!i - 1) / 2 in
+    let tmp = t.arr.(p) in
+    t.arr.(p) <- t.arr.(!i);
+    t.arr.(!i) <- tmp;
+    i := p
+  done
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    let top = t.arr.(0) in
+    t.len <- t.len - 1;
+    if t.len > 0 then begin
+      t.arr.(0) <- t.arr.(t.len);
+      (* sift down *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < t.len && less t.arr.(l) t.arr.(!smallest) then smallest := l;
+        if r < t.len && less t.arr.(r) t.arr.(!smallest) then smallest := r;
+        if !smallest = !i then continue := false
+        else begin
+          let tmp = t.arr.(!smallest) in
+          t.arr.(!smallest) <- t.arr.(!i);
+          t.arr.(!i) <- tmp;
+          i := !smallest
+        end
+      done
+    end;
+    Some (top.time, top.seq, top.payload)
+  end
+
+let peek_time t = if t.len = 0 then None else Some t.arr.(0).time

@@ -1,0 +1,15 @@
+(** Internal binary min-heap keyed by (time, sequence number); the sequence
+    number makes the event order total and deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+
+val push : 'a t -> time:float -> seq:int -> 'a -> unit
+
+val pop : 'a t -> (float * int * 'a) option
+(** Smallest (time, seq) first. *)
+
+val peek_time : 'a t -> float option

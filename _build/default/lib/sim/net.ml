@@ -1,0 +1,24 @@
+type t = {
+  rtt : float;
+  bandwidth : float;
+  mutable bytes : int;
+}
+
+let create ?(rtt = 200e-6) ?(bandwidth = 125e6) () =
+  if rtt < 0. || bandwidth <= 0. then invalid_arg "Net.create";
+  { rtt; bandwidth; bytes = 0 }
+
+let one_way t ~bytes_len =
+  (t.rtt /. 2.) +. (float_of_int bytes_len /. t.bandwidth)
+
+let send t ~bytes_len =
+  t.bytes <- t.bytes + bytes_len;
+  Sim.sleep (one_way t ~bytes_len)
+
+let rpc t ~req_bytes ~resp_bytes f =
+  send t ~bytes_len:req_bytes;
+  let v = f () in
+  send t ~bytes_len:resp_bytes;
+  v
+
+let bytes_sent t = t.bytes

@@ -1,0 +1,23 @@
+(** Network model for the simulated cluster: a message between two nodes
+    costs half the round-trip latency plus serialization over a shared
+    per-link bandwidth.  Matches the paper's testbed (same-rack machines on
+    a 1 Gbps network). *)
+
+type t
+
+val create : ?rtt:float -> ?bandwidth:float -> unit -> t
+(** [rtt] in seconds (default 200e-6, a same-rack TCP round trip);
+    [bandwidth] in bytes/second (default 1 Gbps = 125e6). *)
+
+val one_way : t -> bytes_len:int -> float
+(** Latency of a one-way message of the given size. *)
+
+val send : t -> bytes_len:int -> unit
+(** Suspend the calling process for the one-way latency. *)
+
+val rpc : t -> req_bytes:int -> resp_bytes:int -> (unit -> 'a) -> 'a
+(** [rpc net ~req_bytes ~resp_bytes f] models request transfer, server work
+    [f ()], and response transfer, returning [f]'s result. *)
+
+val bytes_sent : t -> int
+(** Total bytes accounted so far (for network-cost reporting). *)

@@ -1,0 +1,1 @@
+lib/storage/bptree.ml: Array Glassdb_util List String Work

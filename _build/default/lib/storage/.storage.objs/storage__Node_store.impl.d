@@ -1,0 +1,1 @@
+lib/storage/node_store.ml: Glassdb_util Hash Hashtbl String Work

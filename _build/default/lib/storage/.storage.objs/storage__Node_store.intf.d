@@ -1,0 +1,1 @@
+lib/storage/node_store.mli: Glassdb_util Hash

@@ -1,0 +1,1 @@
+lib/storage/skiplist.ml: Array Glassdb_util List Option Rng Work

@@ -1,0 +1,1 @@
+lib/storage/wal.ml: Glassdb_util List String Work

@@ -1,0 +1,168 @@
+open Glassdb_util
+
+(* Mutable B+-tree.  Interior nodes hold separator keys and children;
+   leaves hold sorted (key, value) arrays and a next-leaf link for range
+   scans.  Splits propagate upward through the recursive insert. *)
+
+type 'a node =
+  | Leaf of 'a leaf
+  | Interior of 'a interior
+
+and 'a leaf = {
+  mutable keys : string array;
+  mutable values : 'a array;
+  mutable next : 'a leaf option;
+}
+
+and 'a interior = {
+  mutable seps : string array;       (* n separators *)
+  mutable children : 'a node array;  (* n+1 children *)
+}
+
+type 'a t = {
+  order : int;
+  mutable root : 'a node;
+  mutable count : int;
+}
+
+let create ?(order = 32) () =
+  if order < 4 then invalid_arg "Bptree.create: order must be >= 4";
+  { order; root = Leaf { keys = [||]; values = [||]; next = None }; count = 0 }
+
+(* Index of the first key >= k, by binary search. *)
+let lower_bound keys k =
+  let lo = ref 0 and hi = ref (Array.length keys) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if String.compare keys.(mid) k < 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* Child index to descend into for key k: first separator > k goes left. *)
+let child_index seps k =
+  let lo = ref 0 and hi = ref (Array.length seps) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if String.compare seps.(mid) k <= 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let find t k =
+  let rec go node =
+    Work.note_page_read ();
+    match node with
+    | Leaf l ->
+      let i = lower_bound l.keys k in
+      if i < Array.length l.keys && String.equal l.keys.(i) k then
+        Some l.values.(i)
+      else None
+    | Interior n -> go n.children.(child_index n.seps k)
+  in
+  go t.root
+
+let array_insert arr i x =
+  let n = Array.length arr in
+  Array.init (n + 1) (fun j ->
+      if j < i then arr.(j) else if j = i then x else arr.(j - 1))
+
+(* Insert into the subtree; returns a split (separator, right sibling) when
+   the node overflowed. *)
+let rec insert_node t node k v =
+  match node with
+  | Leaf l ->
+    let i = lower_bound l.keys k in
+    if i < Array.length l.keys && String.equal l.keys.(i) k then begin
+      l.values.(i) <- v;
+      None
+    end
+    else begin
+      t.count <- t.count + 1;
+      l.keys <- array_insert l.keys i k;
+      l.values <- array_insert l.values i v;
+      if Array.length l.keys < t.order then None
+      else begin
+        (* Split the leaf in half. *)
+        let mid = Array.length l.keys / 2 in
+        let right =
+          { keys = Array.sub l.keys mid (Array.length l.keys - mid);
+            values = Array.sub l.values mid (Array.length l.values - mid);
+            next = l.next }
+        in
+        l.keys <- Array.sub l.keys 0 mid;
+        l.values <- Array.sub l.values 0 mid;
+        l.next <- Some right;
+        Some (right.keys.(0), Leaf right)
+      end
+    end
+  | Interior n ->
+    let ci = child_index n.seps k in
+    (match insert_node t n.children.(ci) k v with
+     | None -> None
+     | Some (sep, right) ->
+       n.seps <- array_insert n.seps ci sep;
+       n.children <- array_insert n.children (ci + 1) right;
+       if Array.length n.children <= t.order then None
+       else begin
+         let mid = Array.length n.seps / 2 in
+         let up = n.seps.(mid) in
+         let right_node =
+           { seps = Array.sub n.seps (mid + 1) (Array.length n.seps - mid - 1);
+             children =
+               Array.sub n.children (mid + 1)
+                 (Array.length n.children - mid - 1) }
+         in
+         n.seps <- Array.sub n.seps 0 mid;
+         n.children <- Array.sub n.children 0 (mid + 1);
+         Some (up, Interior right_node)
+       end)
+
+let insert t k v =
+  match insert_node t t.root k v with
+  | None -> ()
+  | Some (sep, right) ->
+    t.root <- Interior { seps = [| sep |]; children = [| t.root; right |] }
+
+let rec leftmost_leaf = function
+  | Leaf l -> l
+  | Interior n -> leftmost_leaf n.children.(0)
+
+let rec leaf_for node k =
+  Work.note_page_read ();
+  match node with
+  | Leaf l -> l
+  | Interior n -> leaf_for n.children.(child_index n.seps k) k
+
+let range t ~lo ~hi =
+  let out = ref [] in
+  let rec scan (l : 'a leaf) =
+    let stop = ref false in
+    Array.iteri
+      (fun i k ->
+        if not !stop then
+          if String.compare k hi >= 0 then stop := true
+          else if String.compare k lo >= 0 then
+            out := (k, l.values.(i)) :: !out)
+      l.keys;
+    if not !stop then
+      match l.next with Some next -> Work.note_page_read (); scan next | None -> ()
+  in
+  scan (leaf_for t.root lo);
+  List.rev !out
+
+let cardinal t = t.count
+
+let to_list t =
+  let out = ref [] in
+  let rec scan (l : 'a leaf) =
+    Array.iteri (fun i k -> out := (k, l.values.(i)) :: !out) l.keys;
+    match l.next with Some next -> scan next | None -> ()
+  in
+  scan (leftmost_leaf t.root);
+  List.rev !out
+
+let height t =
+  let rec go acc = function
+    | Leaf _ -> acc
+    | Interior n -> go (acc + 1) n.children.(0)
+  in
+  go 1 t.root

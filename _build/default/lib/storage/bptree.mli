@@ -1,0 +1,28 @@
+(** In-memory B+-tree with string keys.
+
+    This is the *unprotected* index of the QLDB* baseline (Figure 1): data
+    materialized from the ledger is kept here for point lookups, and because
+    the tree carries no hashes a malicious server could serve stale values
+    from it — which is exactly why QLDB's current-value proof must scan the
+    ledger.  Node traversals are charged as page reads. *)
+
+type 'a t
+
+val create : ?order:int -> unit -> 'a t
+(** [order] = max children per interior node (default 32, min 4). *)
+
+val insert : 'a t -> string -> 'a -> unit
+(** Insert or overwrite. *)
+
+val find : 'a t -> string -> 'a option
+
+val range : 'a t -> lo:string -> hi:string -> (string * 'a) list
+(** Bindings with [lo <= key < hi], ascending. *)
+
+val cardinal : 'a t -> int
+
+val to_list : 'a t -> (string * 'a) list
+(** All bindings in key order. *)
+
+val height : 'a t -> int
+(** Levels from root to leaf; 1 for a single leaf. *)

@@ -1,0 +1,23 @@
+open Glassdb_util
+
+type t = {
+  table : (Hash.t, string) Hashtbl.t;
+  mutable bytes : int;
+}
+
+let create () = { table = Hashtbl.create 1024; bytes = 0 }
+
+let put t h data =
+  if not (Hashtbl.mem t.table h) then begin
+    Hashtbl.replace t.table h data;
+    t.bytes <- t.bytes + String.length data + Hash.size;
+    Work.note_node_write ~bytes:(String.length data + Hash.size)
+  end
+
+let get t h =
+  Work.note_page_read ();
+  Hashtbl.find_opt t.table h
+
+let mem t h = Hashtbl.mem t.table h
+let node_count t = Hashtbl.length t.table
+let total_bytes t = t.bytes

@@ -1,0 +1,26 @@
+(** Content-addressed store for authenticated-structure nodes.
+
+    POS-trees, Merkle logs and tries persist their nodes here keyed by hash.
+    Because the key is the content hash, identical nodes written by different
+    snapshots deduplicate automatically — this is what makes the
+    storage-consumption experiment (Fig. 7d) meaningful.  Reads and writes
+    feed the global {!Glassdb_util.Work} counters. *)
+
+open Glassdb_util
+
+type t
+
+val create : unit -> t
+
+val put : t -> Hash.t -> string -> unit
+(** Store a node.  A duplicate put of the same hash is a no-op and is not
+    charged. *)
+
+val get : t -> Hash.t -> string option
+(** Charged as one page read. *)
+
+val mem : t -> Hash.t -> bool
+
+val node_count : t -> int
+val total_bytes : t -> int
+(** Physical bytes after deduplication. *)

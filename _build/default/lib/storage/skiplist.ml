@@ -1,0 +1,94 @@
+open Glassdb_util
+
+(* Classic skip list with geometric level promotion (p = 1/2), deterministic
+   via an internal Rng.  Each node traversal is charged as a page read. *)
+
+let max_level = 16
+
+type 'a node = {
+  seq : int;
+  value : 'a option; (* None only in the head sentinel *)
+  forward : 'a node option array; (* length = node level *)
+}
+
+type 'a t = {
+  head : 'a node; (* sentinel with seq = min_int *)
+  rng : Rng.t;
+  mutable level : int;
+  mutable count : int;
+  mutable max_seq : int;
+}
+
+let create ?(seed = 0x5eed) () =
+  { head = { seq = min_int; value = None; forward = Array.make max_level None };
+    rng = Rng.create seed;
+    level = 1;
+    count = 0;
+    max_seq = min_int }
+
+let random_level t =
+  let lvl = ref 1 in
+  while !lvl < max_level && Rng.bool t.rng do
+    incr lvl
+  done;
+  !lvl
+
+let append t ~seq value =
+  if seq <= t.max_seq then invalid_arg "Skiplist.append: non-increasing seq";
+  t.max_seq <- seq;
+  t.count <- t.count + 1;
+  let lvl = random_level t in
+  if lvl > t.level then t.level <- lvl;
+  let node = { seq; value = Some value; forward = Array.make lvl None } in
+  (* New node is the global maximum: splice it at the end of each level. *)
+  let rec splice cur level =
+    if level >= 0 then begin
+      Work.note_page_read ();
+      match cur.forward.(level) with
+      | Some next -> splice next level
+      | None ->
+        if level < lvl then cur.forward.(level) <- Some node;
+        splice cur (level - 1)
+    end
+  in
+  splice t.head (t.level - 1)
+
+let length t = t.count
+
+let search t target =
+  (* Returns the last node with seq <= target (possibly the sentinel). *)
+  let rec go cur level =
+    Work.note_page_read ();
+    if level < 0 then cur
+    else
+      match cur.forward.(level) with
+      | Some next when next.seq <= target -> go next level
+      | _ -> go cur (level - 1)
+  in
+  go t.head (t.level - 1)
+
+let entry n =
+  match n.value with
+  | Some v -> (n.seq, v)
+  | None -> invalid_arg "Skiplist: sentinel has no value"
+
+let last t =
+  let n = search t max_int in
+  if n.seq = min_int then None else Some (entry n)
+
+let find t seq =
+  let n = search t seq in
+  if n.seq = seq then Option.some (snd (entry n)) else None
+
+let find_at_or_before t seq =
+  let n = search t seq in
+  if n.seq = min_int then None else Some (entry n)
+
+let to_list t =
+  let rec go acc = function
+    | None -> List.rev acc
+    | Some n -> go (entry n :: acc) n.forward.(0)
+  in
+  go [] t.head.forward.(0)
+
+let last_n t n = List.rev (to_list t) |> List.filteri (fun i _ -> i < n)

@@ -1,0 +1,32 @@
+(** Append-oriented skip list over integer sequence numbers.
+
+    LedgerDB's per-key *clue index* is a skip list whose entries point at the
+    journal entries that touched the key; new entries always carry a larger
+    sequence number.  The list supports O(log n) access to the newest entry
+    and backwards history traversal — and, critically for the paper's
+    security argument, its pointers are *not* hash-protected, so a verifying
+    client must re-check every entry it follows. *)
+
+type 'a t
+
+val create : ?seed:int -> unit -> 'a t
+
+val append : 'a t -> seq:int -> 'a -> unit
+(** [seq] must exceed the current maximum. *)
+
+val length : 'a t -> int
+
+val last : 'a t -> (int * 'a) option
+(** Newest entry. *)
+
+val find : 'a t -> int -> 'a option
+(** Entry with exactly the given sequence number. *)
+
+val find_at_or_before : 'a t -> int -> (int * 'a) option
+(** Newest entry with [seq <= n]; the historical-read path. *)
+
+val to_list : 'a t -> (int * 'a) list
+(** Ascending by sequence number. *)
+
+val last_n : 'a t -> int -> (int * 'a) list
+(** Up to [n] newest entries, newest first. *)

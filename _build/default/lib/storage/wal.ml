@@ -1,0 +1,31 @@
+open Glassdb_util
+
+type record = { seq : int; kind : string; payload : string }
+
+type t = {
+  mutable records : record list; (* newest first *)
+  mutable next_seq : int;
+  mutable bytes : int;
+}
+
+let create () = { records = []; next_seq = 0; bytes = 0 }
+
+let append t ~kind ~payload =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  let r = { seq; kind; payload } in
+  t.records <- r :: t.records;
+  let sz = String.length kind + String.length payload + 16 in
+  t.bytes <- t.bytes + sz;
+  Work.note_node_write ~bytes:sz;
+  seq
+
+let records_from t n =
+  List.rev (List.filter (fun r -> r.seq >= n) t.records)
+
+let last_seq t = t.next_seq - 1
+
+let truncate_before t n =
+  t.records <- List.filter (fun r -> r.seq >= n) t.records
+
+let size_bytes t = t.bytes

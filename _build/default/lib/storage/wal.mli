@@ -1,0 +1,31 @@
+(** Write-ahead log.
+
+    Each shard appends a record per prepared/committed transaction before
+    acknowledging, and replays the tail on recovery (Section 3.3.5).  Records
+    carry a monotonically increasing sequence number.  The log lives in
+    memory (the cluster is simulated) but write costs are charged through
+    {!Glassdb_util.Work} like any other persistence. *)
+
+type t
+
+type record = {
+  seq : int;
+  kind : string;   (** e.g. "prepare", "commit", "abort", "block" *)
+  payload : string;
+}
+
+val create : unit -> t
+
+val append : t -> kind:string -> payload:string -> int
+(** Returns the record's sequence number. *)
+
+val records_from : t -> int -> record list
+(** All records with [seq >= n], oldest first — the recovery read path. *)
+
+val last_seq : t -> int
+(** -1 when empty. *)
+
+val truncate_before : t -> int -> unit
+(** Drop records with [seq < n]; used after a checkpoint. *)
+
+val size_bytes : t -> int

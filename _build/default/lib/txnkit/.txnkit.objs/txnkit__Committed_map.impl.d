@@ -1,0 +1,1 @@
+lib/txnkit/committed_map.ml: Hashtbl Kv List Option Queue String

@@ -1,0 +1,1 @@
+lib/txnkit/committed_map.mli: Kv

@@ -1,0 +1,1 @@
+lib/txnkit/kv.ml: Char Codec Glassdb_util Printf Sha256 String

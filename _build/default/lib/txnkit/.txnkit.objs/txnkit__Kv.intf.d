@@ -1,0 +1,1 @@
+lib/txnkit/kv.mli: Buffer Codec Glassdb_util

@@ -1,0 +1,1 @@
+lib/txnkit/occ.ml: Format Hashtbl Kv List Option Printf

@@ -1,0 +1,1 @@
+lib/txnkit/occ.mli: Format Kv

@@ -1,0 +1,86 @@
+open Glassdb_util
+
+type key = string
+type value = string
+type version = int
+type txn_id = string
+
+let txn_id ~client ~seq = Printf.sprintf "t%d.%d" client seq
+
+type rw_set = {
+  reads : (key * version) list;
+  writes : (key * value) list;
+}
+
+let shard_of_key ~shards key =
+  if shards <= 0 then invalid_arg "Kv.shard_of_key";
+  (* Cheap stable hash; must not depend on OCaml's polymorphic hash so that
+     runs are reproducible across compiler versions. *)
+  let h = ref 5381 in
+  String.iter (fun c -> h := ((!h lsl 5) + !h + Char.code c) land 0x3FFFFFFF) key;
+  !h mod shards
+
+let encode_rw_set buf rw =
+  Codec.write_list buf
+    (fun b (k, v) ->
+      Codec.write_string b k;
+      Codec.write_varint b v)
+    rw.reads;
+  Codec.write_list buf
+    (fun b (k, v) ->
+      Codec.write_string b k;
+      Codec.write_string b v)
+    rw.writes
+
+let decode_rw_set r =
+  let reads =
+    Codec.read_list r (fun r ->
+        let k = Codec.read_string r in
+        let v = Codec.read_varint r in
+        (k, v))
+  in
+  let writes =
+    Codec.read_list r (fun r ->
+        let k = Codec.read_string r in
+        let v = Codec.read_string r in
+        (k, v))
+  in
+  { reads; writes }
+
+type signed_txn = {
+  tid : txn_id;
+  client : int;
+  rw : rw_set;
+  signature : string;
+}
+
+let payload_bytes ~tid ~client rw =
+  Codec.to_string
+    (fun buf () ->
+      Codec.write_string buf tid;
+      Codec.write_varint buf client;
+      encode_rw_set buf rw)
+    ()
+
+let sign ~sk ~tid ~client rw =
+  { tid; client; rw;
+    signature = Sha256.hmac ~key:sk (payload_bytes ~tid ~client rw) }
+
+let verify_signature ~pk t =
+  String.equal t.signature
+    (Sha256.hmac ~key:pk (payload_bytes ~tid:t.tid ~client:t.client t.rw))
+
+let encode_signed_txn buf t =
+  Codec.write_string buf t.tid;
+  Codec.write_varint buf t.client;
+  encode_rw_set buf t.rw;
+  Codec.write_string buf t.signature
+
+let decode_signed_txn r =
+  let tid = Codec.read_string r in
+  let client = Codec.read_varint r in
+  let rw = decode_rw_set r in
+  let signature = Codec.read_string r in
+  { tid; client; rw; signature }
+
+let signed_txn_bytes t = String.length (Codec.to_string encode_signed_txn t)

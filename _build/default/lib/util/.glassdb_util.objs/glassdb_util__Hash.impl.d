@@ -1,0 +1,1 @@
+lib/util/hash.ml: Format Hex Sha256 String Work

@@ -1,0 +1,1 @@
+lib/util/sha256.ml: Array Bytes Char Int32 Int64 List String

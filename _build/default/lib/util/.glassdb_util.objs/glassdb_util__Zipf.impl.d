@@ -1,0 +1,1 @@
+lib/util/zipf.ml: Float Int64 Rng

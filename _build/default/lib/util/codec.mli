@@ -1,0 +1,48 @@
+(** Minimal binary serialization used for proofs, WAL records, RPC payload
+    sizing and signed transactions.
+
+    Encoders append to a [Buffer.t]; decoders consume from a string with an
+    explicit mutable cursor.  Decoding raises {!Malformed} on truncated or
+    corrupt input — callers treating proofs from an untrusted server must
+    catch it and treat it as verification failure. *)
+
+exception Malformed of string
+
+type reader
+(** Cursor over an input string. *)
+
+val reader : string -> reader
+val at_end : reader -> bool
+
+val write_varint : Buffer.t -> int -> unit
+(** Unsigned LEB128; accepts only non-negative integers. *)
+
+val read_varint : reader -> int
+
+val write_string : Buffer.t -> string -> unit
+(** Length-prefixed string. *)
+
+val read_string : reader -> string
+
+val write_raw : Buffer.t -> string -> unit
+(** Append bytes with no length prefix. *)
+
+val read_raw : reader -> int -> string
+(** Consume exactly [n] bytes. *)
+
+val read_byte : reader -> int
+
+val write_bool : Buffer.t -> bool -> unit
+val read_bool : reader -> bool
+
+val write_list : Buffer.t -> (Buffer.t -> 'a -> unit) -> 'a list -> unit
+val read_list : reader -> (reader -> 'a) -> 'a list
+
+val write_option : Buffer.t -> (Buffer.t -> 'a -> unit) -> 'a option -> unit
+val read_option : reader -> (reader -> 'a) -> 'a option
+
+val to_string : (Buffer.t -> 'a -> unit) -> 'a -> string
+(** Run an encoder into a fresh buffer. *)
+
+val of_string : (reader -> 'a) -> string -> 'a
+(** Run a decoder over a whole string; raises {!Malformed} if bytes remain. *)

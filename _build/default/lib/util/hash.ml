@@ -1,0 +1,30 @@
+type t = string
+
+let size = 32
+let equal = String.equal
+let compare = String.compare
+
+let of_string s =
+  Work.note_hash ();
+  Sha256.digest_string s
+
+let empty = Sha256.digest_string ""
+
+let leaf data =
+  Work.note_hash ();
+  Sha256.digest_strings [ "\x00"; data ]
+
+let interior l r =
+  Work.note_hash ();
+  Sha256.digest_strings [ "\x01"; l; r ]
+
+let combine hs =
+  Work.note_hash ();
+  Sha256.digest_strings ("\x02" :: hs)
+
+let kv k v =
+  Work.note_hash ();
+  Sha256.digest_strings [ "\x03"; string_of_int (String.length k); "\x00"; k; v ]
+
+let short h = Hex.encode_prefix ~n:4 h
+let pp fmt h = Format.pp_print_string fmt (short h)

@@ -1,0 +1,23 @@
+let hexdigit n = "0123456789abcdef".[n]
+
+let encode s =
+  String.init
+    (2 * String.length s)
+    (fun i ->
+      let c = Char.code s.[i / 2] in
+      hexdigit (if i mod 2 = 0 then c lsr 4 else c land 0xf))
+
+let encode_prefix ?(n = 4) s =
+  encode (String.sub s 0 (min n (String.length s)))
+
+let nibble c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> invalid_arg "Hex.decode: non-hex character"
+
+let decode s =
+  let n = String.length s in
+  if n mod 2 <> 0 then invalid_arg "Hex.decode: odd length";
+  String.init (n / 2) (fun i -> Char.chr ((nibble s.[2*i] lsl 4) lor nibble s.[2*i + 1]))

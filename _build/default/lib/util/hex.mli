@@ -1,0 +1,11 @@
+(** Hexadecimal encoding of raw byte strings. *)
+
+val encode : string -> string
+(** Lower-case hex of the whole string. *)
+
+val encode_prefix : ?n:int -> string -> string
+(** Hex of the first [n] bytes (default 4); handy for logging digests. *)
+
+val decode : string -> string
+(** Inverse of {!encode}.  Raises [Invalid_argument] on odd length or
+    non-hex characters. *)

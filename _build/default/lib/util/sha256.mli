@@ -1,0 +1,31 @@
+(** Pure-OCaml SHA-256 (FIPS 180-4).
+
+    This module is the only cryptographic hash used in the repository: every
+    Merkle structure, signature and digest is built on it.  The implementation
+    is incremental: feed data with {!feed_string} / {!feed_bytes} and finish
+    with {!finalize}, or use the one-shot {!digest_string}. *)
+
+type t
+(** Mutable hashing context. *)
+
+val init : unit -> t
+(** Fresh context. *)
+
+val feed_bytes : t -> ?off:int -> ?len:int -> bytes -> unit
+(** Absorb a byte range.  Raises [Invalid_argument] on a bad range. *)
+
+val feed_string : t -> string -> unit
+(** Absorb a whole string. *)
+
+val finalize : t -> string
+(** Produce the 32-byte raw digest.  The context must not be reused. *)
+
+val digest_string : string -> string
+(** One-shot digest of a string; returns 32 raw bytes. *)
+
+val digest_strings : string list -> string
+(** Digest of the concatenation of the given strings, without building the
+    concatenation. *)
+
+val hmac : key:string -> string -> string
+(** HMAC-SHA256 (RFC 2104); used for client "signatures". *)

@@ -1,0 +1,84 @@
+type t = {
+  mutable samples : float list;
+  mutable count : int;
+  mutable total : float;
+  mutable min_v : float;
+  mutable max_v : float;
+  mutable sorted : float array option; (* cache invalidated on add *)
+}
+
+let create () =
+  { samples = []; count = 0; total = 0.; min_v = infinity; max_v = neg_infinity;
+    sorted = None }
+
+let add t x =
+  t.samples <- x :: t.samples;
+  t.count <- t.count + 1;
+  t.total <- t.total +. x;
+  if x < t.min_v then t.min_v <- x;
+  if x > t.max_v then t.max_v <- x;
+  t.sorted <- None
+
+let count t = t.count
+let total t = t.total
+let mean t = if t.count = 0 then 0. else t.total /. float_of_int t.count
+let min_value t = if t.count = 0 then 0. else t.min_v
+let max_value t = if t.count = 0 then 0. else t.max_v
+
+let sorted t =
+  match t.sorted with
+  | Some a -> a
+  | None ->
+    let a = Array.of_list t.samples in
+    Array.sort Float.compare a;
+    t.sorted <- Some a;
+    a
+
+let percentile t p =
+  if p < 0. || p > 1. then invalid_arg "Stats.percentile";
+  if t.count = 0 then 0.
+  else begin
+    let a = sorted t in
+    let idx = int_of_float (Float.round (p *. float_of_int (Array.length a - 1))) in
+    a.(idx)
+  end
+
+let merge a b =
+  let t = create () in
+  List.iter (add t) a.samples;
+  List.iter (add t) b.samples;
+  t
+
+let clear t =
+  t.samples <- [];
+  t.count <- 0;
+  t.total <- 0.;
+  t.min_v <- infinity;
+  t.max_v <- neg_infinity;
+  t.sorted <- None
+
+type histogram = {
+  width : float;
+  buckets : (int, int) Hashtbl.t;
+}
+
+let histogram ~bucket_width =
+  if bucket_width <= 0. then invalid_arg "Stats.histogram";
+  { width = bucket_width; buckets = Hashtbl.create 64 }
+
+let hist_add h time =
+  let b = int_of_float (time /. h.width) in
+  let cur = Option.value ~default:0 (Hashtbl.find_opt h.buckets b) in
+  Hashtbl.replace h.buckets b (cur + 1)
+
+let hist_buckets h =
+  if Hashtbl.length h.buckets = 0 then []
+  else begin
+    let keys = Hashtbl.fold (fun k _ acc -> k :: acc) h.buckets [] in
+    let lo = List.fold_left min (List.hd keys) keys in
+    let hi = List.fold_left max (List.hd keys) keys in
+    List.init (hi - lo + 1) (fun i ->
+        let b = lo + i in
+        let n = Option.value ~default:0 (Hashtbl.find_opt h.buckets b) in
+        (float_of_int b *. h.width, n))
+  end

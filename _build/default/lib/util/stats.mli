@@ -1,0 +1,34 @@
+(** Streaming measurement accumulators for the benchmark harness:
+    counts, means, and percentiles over recorded samples. *)
+
+type t
+(** A named series of float samples. *)
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val total : t -> float
+val mean : t -> float
+(** 0. when empty. *)
+
+val min_value : t -> float
+val max_value : t -> float
+
+val percentile : t -> float -> float
+(** [percentile t 0.99] = p99 by nearest-rank on the sorted samples;
+    0. when empty.  The fraction must be in [0, 1]. *)
+
+val merge : t -> t -> t
+(** New accumulator holding both sample sets. *)
+
+val clear : t -> unit
+
+type histogram
+(** Fixed-bucket histogram for timeline plots (throughput per second). *)
+
+val histogram : bucket_width:float -> histogram
+val hist_add : histogram -> float -> unit
+(** Record an event at the given time coordinate. *)
+
+val hist_buckets : histogram -> (float * int) list
+(** (bucket start, event count), sorted, gaps included as zero. *)

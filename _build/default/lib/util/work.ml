@@ -1,0 +1,41 @@
+type counters = {
+  hashes : int;
+  node_writes : int;
+  bytes_written : int;
+  page_reads : int;
+}
+
+let zero = { hashes = 0; node_writes = 0; bytes_written = 0; page_reads = 0 }
+
+let add a b =
+  { hashes = a.hashes + b.hashes;
+    node_writes = a.node_writes + b.node_writes;
+    bytes_written = a.bytes_written + b.bytes_written;
+    page_reads = a.page_reads + b.page_reads }
+
+let sub a b =
+  { hashes = a.hashes - b.hashes;
+    node_writes = a.node_writes - b.node_writes;
+    bytes_written = a.bytes_written - b.bytes_written;
+    page_reads = a.page_reads - b.page_reads }
+
+let state = ref zero
+
+let note_hash ?(n = 1) () = state := { !state with hashes = !state.hashes + n }
+
+let note_node_write ~bytes =
+  state :=
+    { !state with
+      node_writes = !state.node_writes + 1;
+      bytes_written = !state.bytes_written + bytes }
+
+let note_page_read ?(n = 1) () =
+  state := { !state with page_reads = !state.page_reads + n }
+
+let snapshot () = !state
+let reset () = state := zero
+
+let measure f =
+  let before = snapshot () in
+  let v = f () in
+  (v, sub (snapshot ()) before)

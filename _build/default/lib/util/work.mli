@@ -1,0 +1,30 @@
+(** Global work counters.
+
+    Every hash computation, authenticated-structure node write and backend
+    page access in the repository increments these counters.  The benchmark
+    harness snapshots them around an operation and charges simulated service
+    time proportional to the *measured* work, so relative system performance
+    in the simulation is driven by real algorithmic differences rather than
+    hard-coded constants.  Single-threaded by design. *)
+
+type counters = {
+  hashes : int;        (** SHA-256 compression-level invocations *)
+  node_writes : int;   (** authenticated-structure nodes persisted *)
+  bytes_written : int; (** bytes of those nodes *)
+  page_reads : int;    (** backend page / node fetches *)
+}
+
+val zero : counters
+val add : counters -> counters -> counters
+val sub : counters -> counters -> counters
+(** [sub later earlier] — componentwise difference. *)
+
+val note_hash : ?n:int -> unit -> unit
+val note_node_write : bytes:int -> unit
+val note_page_read : ?n:int -> unit -> unit
+
+val snapshot : unit -> counters
+val reset : unit -> unit
+
+val measure : (unit -> 'a) -> 'a * counters
+(** Run a thunk and return the work it performed. *)

@@ -1,0 +1,64 @@
+(* Rejection-free Zipfian sampler following Gray et al. ("Quickly generating
+   billion-record synthetic databases"), the algorithm YCSB uses. *)
+
+type t = {
+  n : int;
+  theta : float;
+  alpha : float;
+  zetan : float;
+  eta : float;
+  half_pow : float; (* 1 + 0.5^theta *)
+}
+
+let zeta n theta =
+  let acc = ref 0. in
+  for i = 1 to n do
+    acc := !acc +. (1. /. Float.pow (float_of_int i) theta)
+  done;
+  !acc
+
+let create ~n ~theta =
+  if n <= 0 then invalid_arg "Zipf.create: n must be positive";
+  if theta < 0. then invalid_arg "Zipf.create: negative theta";
+  if theta = 0. then
+    { n; theta; alpha = 0.; zetan = 0.; eta = 0.; half_pow = 0. }
+  else begin
+    let zetan = zeta n theta in
+    let zeta2 = zeta 2 theta in
+    let alpha = 1. /. (1. -. theta) in
+    let eta =
+      (1. -. Float.pow (2. /. float_of_int n) (1. -. theta))
+      /. (1. -. (zeta2 /. zetan))
+    in
+    { n; theta; alpha; zetan; eta; half_pow = 1. +. Float.pow 0.5 theta }
+  end
+
+let n t = t.n
+let theta t = t.theta
+
+let draw rng t =
+  if t.theta = 0. then Rng.int_below rng t.n
+  else begin
+    let u = Rng.float rng in
+    let uz = u *. t.zetan in
+    if uz < 1. then 0
+    else if uz < t.half_pow then 1
+    else begin
+      let base = Float.max 0. ((t.eta *. u) -. t.eta +. 1.) in
+      let v = float_of_int t.n *. Float.pow base t.alpha in
+      max 0 (min (t.n - 1) (int_of_float v))
+    end
+  end
+
+(* FNV-1a 64-bit over the rank's bytes, reduced mod n. *)
+let fnv_scramble rank =
+  let h = ref 0xCBF29CE484222325L in
+  for shift = 0 to 7 do
+    let byte = Int64.logand (Int64.shift_right_logical (Int64.of_int rank) (8 * shift)) 0xFFL in
+    h := Int64.mul (Int64.logxor !h byte) 0x100000001B3L
+  done;
+  Int64.to_int (Int64.logand !h 0x3FFFFFFFFFFFFFFFL)
+
+let scrambled rng t =
+  let rank = draw rng t in
+  if t.theta = 0. then rank else fnv_scramble rank mod t.n

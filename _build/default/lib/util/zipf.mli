@@ -1,0 +1,21 @@
+(** Zipfian key-popularity distributions, YCSB-style.
+
+    A {!t} draws ranks in [0, n) with probability proportional to
+    [1 / (rank+1)^theta].  {!scrambled} applies YCSB's hash scrambling so
+    popular items are spread across the keyspace rather than clustered at
+    low ids.  [theta = 0.] degenerates to the uniform distribution. *)
+
+type t
+
+val create : n:int -> theta:float -> t
+(** [n] must be positive, [theta >= 0.] and [< 1.] for the standard YCSB
+    approximation (theta close to 1 is allowed but slow to converge). *)
+
+val n : t -> int
+val theta : t -> float
+
+val draw : Rng.t -> t -> int
+(** Next rank in [0, n). *)
+
+val scrambled : Rng.t -> t -> int
+(** Rank pushed through FNV-style scrambling, still in [0, n). *)

@@ -1,0 +1,1 @@
+lib/vlayer/dist.ml: Array Cost Float Glassdb_util Hashtbl List Net Sim String Txnkit

@@ -1,0 +1,1 @@
+lib/vlayer/dist.mli: Cost Sim Txnkit

@@ -1,0 +1,245 @@
+module Kv = Txnkit.Kv
+
+module type NODE = sig
+  type t
+
+  val shard_id : t -> int
+  val alive : t -> bool
+  val workers : t -> Sim.Resource.t
+  val disk : t -> Sim.Resource.t
+  val cost : t -> Cost.t
+  val note_phase : t -> string -> float -> unit
+
+  val commit_lock : t -> Sim.Resource.t option
+  val prepare : t -> rw:Kv.rw_set -> Kv.signed_txn -> Txnkit.Occ.verdict
+  val commit : t -> Kv.txn_id -> unit
+  val abort : t -> Kv.txn_id -> unit
+  val read : t -> Kv.key -> (Kv.value * Kv.version) option
+end
+
+module Make (N : NODE) = struct
+  type t = {
+    nodes : N.t array;
+    net : Net.t;
+    timeout : float;
+  }
+
+  let create ?(rtt = 200e-6) ?(bandwidth = 125e6) ?(rpc_timeout = 1.0) nodes =
+    if Array.length nodes = 0 then invalid_arg "Dist.create";
+    { nodes; net = Net.create ~rtt ~bandwidth (); timeout = rpc_timeout }
+
+  let shards t = Array.length t.nodes
+  let node t i = t.nodes.(i)
+  let nodes t = t.nodes
+  let shard_of_key t k = Kv.shard_of_key ~shards:(shards t) k
+  let rpc_timeout t = t.timeout
+
+  (* RPCs run inline in the caller's process (see Cluster.call in the core
+     library); dead nodes cost the caller its full timeout. *)
+  let call t ?phase ?lock ~shard ~req_bytes ~resp_bytes f =
+    let nd = t.nodes.(shard) in
+    let started = Sim.now () in
+    let dead () =
+      let elapsed = Sim.now () -. started in
+      Sim.sleep (Float.max 0. (t.timeout -. elapsed));
+      None
+    in
+    Net.send t.net ~bytes_len:req_bytes;
+    if not (N.alive nd) then dead ()
+    else begin
+      let arrived = Sim.now () in
+      let serve () =
+        Sim.Resource.use (N.workers nd) (fun () ->
+            let v, work = Glassdb_util.Work.measure (fun () -> f nd) in
+            let cpu, io = Cost.split_time (N.cost nd) work in
+            Sim.sleep cpu;
+            if io > 0. then
+              Sim.Resource.use (N.disk nd) (fun () -> Sim.sleep io);
+            v)
+      in
+      let v =
+        match lock with
+        | Some l -> Sim.Resource.use l serve
+        | None -> serve ()
+      in
+      (match phase with
+       | Some (name, keys) when keys > 0 ->
+         N.note_phase nd name ((Sim.now () -. arrived) /. float_of_int keys)
+       | _ -> ());
+      if not (N.alive nd) then dead ()
+      else begin
+        Net.send t.net ~bytes_len:(resp_bytes v);
+        Some v
+      end
+    end
+
+  module Client = struct
+    type c = {
+      cid : int;
+      sk : string;
+      cl : t;
+      mutable seq : int;
+    }
+
+    exception Abort of string
+
+    type handle = {
+      client : c;
+      tid : Kv.txn_id;
+      mutable reads : (Kv.key * Kv.version) list;
+      buffer : (Kv.key, Kv.value) Hashtbl.t;
+      mutable write_order : Kv.key list;
+    }
+
+    let create cl ~id ~sk = { cid = id; sk; cl; seq = 0 }
+    let id c = c.cid
+    let cluster c = c.cl
+
+    let get h key =
+      match Hashtbl.find_opt h.buffer key with
+      | Some v -> Some v
+      | None ->
+        let t = h.client.cl in
+        (match
+           call t ~shard:(shard_of_key t key)
+             ~req_bytes:(String.length key + 16)
+             ~resp_bytes:(fun r ->
+               match r with
+               | Some (v, _) -> String.length v + 16
+               | None -> 16)
+             (fun nd -> N.read nd key)
+         with
+         | None -> raise (Abort "read timeout")
+         | Some None ->
+           h.reads <- (key, -1) :: h.reads;
+           None
+         | Some (Some (v, version)) ->
+           h.reads <- (key, version) :: h.reads;
+           Some v)
+
+    let put h key value =
+      if not (Hashtbl.mem h.buffer key) then
+        h.write_order <- key :: h.write_order;
+      Hashtbl.replace h.buffer key value
+
+    let rw_sets_by_shard h =
+      let t = h.client.cl in
+      let tbl = Hashtbl.create 8 in
+      let touch shard =
+        match Hashtbl.find_opt tbl shard with
+        | Some rw -> rw
+        | None ->
+          let rw = (ref [], ref []) in
+          Hashtbl.replace tbl shard rw;
+          rw
+      in
+      List.iter
+        (fun (k, ver) ->
+          let reads, _ = touch (shard_of_key t k) in
+          reads := (k, ver) :: !reads)
+        h.reads;
+      List.iter
+        (fun k ->
+          let _, writes = touch (shard_of_key t k) in
+          writes := (k, Hashtbl.find h.buffer k) :: !writes)
+        (List.rev h.write_order);
+      Hashtbl.fold
+        (fun shard (reads, writes) acc ->
+          (shard, { Kv.reads = !reads; writes = !writes }) :: acc)
+        tbl []
+
+    let fan_out t calls =
+      let ivs =
+        List.map
+          (fun (shard, call_fn) ->
+            let iv = Sim.Ivar.create () in
+            Sim.spawn (fun () -> Sim.Ivar.fill iv (call_fn ()));
+            (shard, iv))
+          calls
+      in
+      List.map
+        (fun (shard, iv) ->
+          match Sim.Ivar.read_timeout iv (t.timeout *. 2.) with
+          | Some v -> (shard, v)
+          | None -> (shard, None))
+        ivs
+
+    let execute c body =
+      c.seq <- c.seq + 1;
+      let h =
+        { client = c;
+          tid = Kv.txn_id ~client:c.cid ~seq:c.seq;
+          reads = [];
+          buffer = Hashtbl.create 8;
+          write_order = [] }
+      in
+      match body h with
+      | exception Abort reason -> Error reason
+      | value ->
+        let per_shard = rw_sets_by_shard h in
+        if per_shard = [] then Ok (value, h.tid)
+        else begin
+          let t = c.cl in
+          (* Sign the whole transaction once; each shard validates its own
+             slice but stores the full signed transaction for auditing. *)
+          let full_rw =
+            { Kv.reads = List.rev h.reads;
+              writes =
+                List.rev_map (fun k -> (k, Hashtbl.find h.buffer k)) h.write_order }
+          in
+          let stxn = Kv.sign ~sk:c.sk ~tid:h.tid ~client:c.cid full_rw in
+          let verdicts =
+            fan_out t
+              (List.map
+                 (fun (shard, rw) ->
+                   ( shard,
+                     fun () ->
+                       call t ~phase:("prepare", 1) ~shard
+                         ~req_bytes:(Kv.signed_txn_bytes stxn)
+                         ~resp_bytes:(fun _ -> 8)
+                         (fun nd -> N.prepare nd ~rw stxn) ))
+                 per_shard)
+          in
+          let all_ok =
+            List.for_all
+              (function _, Some Txnkit.Occ.Ok -> true | _ -> false)
+              verdicts
+          in
+          if all_ok then begin
+            ignore
+              (fan_out t
+                 (List.map
+                    (fun (shard, _) ->
+                      ( shard,
+                        fun () ->
+                          let nd = node t shard in
+                          call t ~phase:("commit", 1) ?lock:(N.commit_lock nd)
+                            ~shard ~req_bytes:32 ~resp_bytes:(fun _ -> 16)
+                            (fun nd -> N.commit nd h.tid; ()) ))
+                    per_shard));
+            Ok (value, h.tid)
+          end
+          else begin
+            ignore
+              (fan_out t
+                 (List.map
+                    (fun (shard, _) ->
+                      ( shard,
+                        fun () ->
+                          call t ~shard ~req_bytes:32 ~resp_bytes:(fun _ -> 8)
+                            (fun nd -> N.abort nd h.tid; ()) ))
+                    per_shard));
+            let reason =
+              List.fold_left
+                (fun acc (_, v) ->
+                  match v with
+                  | Some (Txnkit.Occ.Conflict r) -> r
+                  | None -> "prepare timeout"
+                  | Some Txnkit.Occ.Ok -> acc)
+                "conflict" verdicts
+            in
+            Error reason
+          end
+        end
+  end
+end

@@ -1,0 +1,69 @@
+(** The shared distributed layer for the reimplemented baselines.
+
+    The paper implements QLDB*, LedgerDB* and GlassDB "on top of the same
+    distributed layer ... the same 2PC implementation" so that performance
+    differences come from the authenticated-storage designs alone.  This
+    functor is that layer: hash partitioning, an RPC fabric with measured
+    service-time charging, and a client-coordinated two-phase commit with
+    OCC validation at each shard. *)
+
+module Kv = Txnkit.Kv
+
+module type NODE = sig
+  type t
+
+  val shard_id : t -> int
+  val alive : t -> bool
+  val workers : t -> Sim.Resource.t
+  val disk : t -> Sim.Resource.t
+  val cost : t -> Cost.t
+  val note_phase : t -> string -> float -> unit
+
+  val commit_lock : t -> Sim.Resource.t option
+  (** When set, commit handlers serialize on this resource — QLDB*'s
+      whole-tree lock during its synchronous Merkle update. *)
+
+  val prepare : t -> rw:Kv.rw_set -> Kv.signed_txn -> Txnkit.Occ.verdict
+  (** [rw] is the shard-local slice; the signed transaction covers the whole
+      read/write set (signed once by the client). *)
+
+  val commit : t -> Kv.txn_id -> unit
+  val abort : t -> Kv.txn_id -> unit
+  val read : t -> Kv.key -> (Kv.value * Kv.version) option
+end
+
+module Make (N : NODE) : sig
+  type t
+
+  val create :
+    ?rtt:float -> ?bandwidth:float -> ?rpc_timeout:float ->
+    N.t array -> t
+
+  val shards : t -> int
+  val node : t -> int -> N.t
+  val nodes : t -> N.t array
+  val shard_of_key : t -> Kv.key -> int
+  val rpc_timeout : t -> float
+
+  val call :
+    t -> ?phase:string * int -> ?lock:Sim.Resource.t -> shard:int ->
+    req_bytes:int -> resp_bytes:('a -> int) -> (N.t -> 'a) -> 'a option
+
+  module Client : sig
+    type c
+    type handle
+
+    exception Abort of string
+
+    val create : t -> id:int -> sk:string -> c
+    val id : c -> int
+    val cluster : c -> t
+
+    val execute : c -> (handle -> 'a) -> ('a * Kv.txn_id, string) result
+    (** Read phase runs inside the body via {!get}/{!put}; the commit point
+        runs prepare/commit (or abort) rounds against every shard touched. *)
+
+    val get : handle -> Kv.key -> Kv.value option
+    val put : handle -> Kv.key -> Kv.value -> unit
+  end
+end

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Ledgerdb List Option Printf Qldb Sim Trillian Txnkit

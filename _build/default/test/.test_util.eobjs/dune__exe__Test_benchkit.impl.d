@@ -1,0 +1,1 @@
+test/test_benchkit.ml: Adapters Alcotest Benchkit Driver Glassdb_util Hashtbl List Option Printf Sim String System Tpcc Ycsb

@@ -1,0 +1,1 @@
+test/test_glassdb.ml: Alcotest Array Glassdb List Option Printf Result Sim Storage String Txnkit

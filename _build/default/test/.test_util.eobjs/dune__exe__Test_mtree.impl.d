@@ -1,0 +1,1 @@
+test/test_mtree.ml: Alcotest Codec Gen Glassdb_util Hash List Map Merkle_log Mpt Mtree Printf QCheck QCheck_alcotest Smt String

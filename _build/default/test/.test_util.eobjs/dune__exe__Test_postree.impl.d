@@ -1,0 +1,1 @@
+test/test_postree.ml: Alcotest Array Chunker Codec Gen Glassdb_util Hash List Map Pos_tree Postree Printf QCheck QCheck_alcotest Rng Storage String

@@ -1,0 +1,1 @@
+test/test_raft.ml: Alcotest Hashtbl List Option Printf Raft Sim

@@ -1,0 +1,1 @@
+test/test_security.ml: Alcotest Char Codec Gen Glassdb Glassdb_util Hash Hashtbl List Mtree Option Printf QCheck QCheck_alcotest Sim Storage String Trillian Txnkit

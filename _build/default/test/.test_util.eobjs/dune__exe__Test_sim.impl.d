@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Glassdb_util List Net Sim

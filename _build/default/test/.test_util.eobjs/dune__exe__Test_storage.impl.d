@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array Bptree Gen Glassdb_util Hash List Map Node_store Printf QCheck QCheck_alcotest Rng Skiplist Storage String Wal Work

@@ -1,0 +1,1 @@
+test/test_txnkit.ml: Alcotest Glassdb_util List Printf QCheck QCheck_alcotest String Txnkit

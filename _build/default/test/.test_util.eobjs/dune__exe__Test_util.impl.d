@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bytes Char Codec Fun Glassdb_util Hash Hex Int64 List Printf QCheck QCheck_alcotest Rng Sha256 Stats String Work Zipf

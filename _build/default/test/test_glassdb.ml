@@ -1,0 +1,397 @@
+(* End-to-end tests for the GlassDB core: ledger proofs, transactions over
+   the simulated cluster, deferred verification, auditing, failure
+   recovery, and tamper detection. *)
+
+module Kv = Txnkit.Kv
+module Ledger = Glassdb.Ledger
+module Node = Glassdb.Node
+module Cluster = Glassdb.Cluster
+module Client = Glassdb.Client
+module Auditor = Glassdb.Auditor
+
+let mk_ledger () =
+  Ledger.create (Ledger.config (Storage.Node_store.create ()))
+
+let w k v tid = { Ledger.wkey = k; wvalue = v; wtid = tid }
+
+(* --- Ledger unit tests --- *)
+
+let test_ledger_append_get () =
+  let l = mk_ledger () in
+  Alcotest.(check int) "empty" (-1) (Ledger.latest_block l);
+  let l = Ledger.append_block l ~time:0. ~writes:[ w "a" "1" "t1"; w "b" "2" "t1" ] ~txns:[] in
+  let l = Ledger.append_block l ~time:1. ~writes:[ w "a" "10" "t2" ] ~txns:[] in
+  Alcotest.(check int) "two blocks" 1 (Ledger.latest_block l);
+  (match Ledger.get l "a" with
+   | Some ("10", 1, 0) -> ()
+   | other ->
+     Alcotest.failf "a = %s"
+       (match other with
+        | Some (v, ver, prev) -> Printf.sprintf "(%s,%d,%d)" v ver prev
+        | None -> "None"));
+  (match Ledger.get ~block:0 l "a" with
+   | Some ("1", 0, -1) -> ()
+   | _ -> Alcotest.fail "historical read of a at block 0");
+  Alcotest.(check (option unit)) "absent key" None
+    (Option.map ignore (Ledger.get l "zzz"));
+  Alcotest.(check int) "key count" 2 (Ledger.key_count l)
+
+let test_ledger_history () =
+  let l = ref (mk_ledger ()) in
+  for i = 0 to 9 do
+    l := Ledger.append_block !l ~time:(float_of_int i)
+        ~writes:[ w "k" (string_of_int i) "t" ] ~txns:[]
+  done;
+  let h = Ledger.get_history !l "k" ~n:3 in
+  Alcotest.(check (list (pair string int))) "last 3 versions"
+    [ ("9", 9); ("8", 8); ("7", 7) ] h;
+  Alcotest.(check int) "full history" 10
+    (List.length (Ledger.get_history !l "k" ~n:100))
+
+let test_ledger_duplicate_key_in_block_rejected () =
+  let l = mk_ledger () in
+  match Ledger.append_block l ~time:0. ~writes:[ w "a" "1" "t"; w "a" "2" "t" ] ~txns:[] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let test_ledger_inclusion_and_current_proofs () =
+  let l = ref (mk_ledger ()) in
+  for b = 0 to 19 do
+    let writes =
+      List.init 20 (fun i -> w (Printf.sprintf "key-%02d" i) (Printf.sprintf "v%d.%d" b i) "t")
+    in
+    l := Ledger.append_block !l ~time:0. ~writes ~txns:[]
+  done;
+  let d = Ledger.digest !l in
+  (* Current-value proof for latest values. *)
+  let p = Ledger.prove_current !l "key-05" in
+  Alcotest.(check bool) "current ok" true
+    (Ledger.verify_current ~digest:d ~key:"key-05" ~value:(Some "v19.5") p);
+  Alcotest.(check bool) "current wrong value rejected" false
+    (Ledger.verify_current ~digest:d ~key:"key-05" ~value:(Some "v18.5") p);
+  (* Inclusion at a historical block. *)
+  let p7 = Ledger.prove_inclusion !l "key-05" ~block:7 in
+  Alcotest.(check bool) "inclusion at block 7" true
+    (Ledger.verify_inclusion ~digest:d ~key:"key-05" ~value:(Some "v7.5") p7);
+  (* A stale proof must not pass the *current*-value check. *)
+  Alcotest.(check bool) "stale proof fails freshness" false
+    (Ledger.verify_current ~digest:d ~key:"key-05" ~value:(Some "v7.5") p7);
+  (* Absent key. *)
+  let pa = Ledger.prove_current !l "missing" in
+  Alcotest.(check bool) "absence proof" true
+    (Ledger.verify_current ~digest:d ~key:"missing" ~value:None pa)
+
+let test_ledger_append_only_proofs () =
+  let l = ref (mk_ledger ()) in
+  let digests = ref [] in
+  for b = 0 to 14 do
+    l := Ledger.append_block !l ~time:0.
+        ~writes:[ w (Printf.sprintf "k%d" (b mod 4)) (string_of_int b) "t" ]
+        ~txns:[];
+    digests := Ledger.digest !l :: !digests
+  done;
+  let digests = Array.of_list (List.rev !digests) in
+  let new_digest = digests.(14) in
+  for old = 0 to 14 do
+    let p = Ledger.prove_append_only !l ~old_block:old in
+    if
+      not
+        (Ledger.verify_append_only ~old_digest:digests.(old) ~new_digest p)
+    then Alcotest.failf "append-only failed from block %d" old
+  done;
+  (* Genesis extends to anything. *)
+  let p = Ledger.prove_append_only !l ~old_block:(-1) in
+  Alcotest.(check bool) "genesis" true
+    (Ledger.verify_append_only ~old_digest:Ledger.genesis ~new_digest p)
+
+let test_ledger_append_only_detects_fork () =
+  (* Two ledgers diverge at block 5; a digest from the fork must not verify
+     against the main chain. *)
+  let build alt =
+    let l = ref (mk_ledger ()) in
+    let ds = ref [] in
+    for b = 0 to 9 do
+      let v = if alt && b >= 5 then Printf.sprintf "evil%d" b else string_of_int b in
+      l := Ledger.append_block !l ~time:0. ~writes:[ w "k" v "t" ] ~txns:[];
+      ds := Ledger.digest !l :: !ds
+    done;
+    (!l, Array.of_list (List.rev !ds))
+  in
+  let main, _ = build false in
+  let _, fork_digests = build true in
+  let p = Ledger.prove_append_only main ~old_block:6 in
+  Alcotest.(check bool) "forked digest rejected" false
+    (Ledger.verify_append_only ~old_digest:fork_digests.(6)
+       ~new_digest:(Ledger.digest main) p)
+
+(* --- Cluster transactions --- *)
+
+let with_cluster ?(shards = 4) ?(node = Node.default_config) f =
+  let out = ref None in
+  Sim.run (fun () ->
+      let cl = Cluster.create { (Cluster.default_config ~shards ()) with node } in
+      Cluster.start cl;
+      out := Some (f cl);
+      Cluster.stop cl);
+  Option.get !out
+
+let test_txn_commit_and_read () =
+  with_cluster (fun cl ->
+      let c = Client.create cl ~id:1 ~sk:"key1" in
+      (match
+         Client.execute c (fun h ->
+             Client.put h "x" "42";
+             Client.put h "y" "43")
+       with
+       | Ok ((), promises) ->
+         Alcotest.(check int) "two promises" 2 (List.length promises)
+       | Error e -> Alcotest.failf "commit failed: %s" e);
+      match Client.execute c (fun h -> Client.get h "x") with
+      | Ok (v, _) -> Alcotest.(check (option string)) "read back" (Some "42") v
+      | Error e -> Alcotest.failf "read failed: %s" e)
+
+let test_txn_cross_shard_atomicity () =
+  with_cluster ~shards:8 (fun cl ->
+      let c = Client.create cl ~id:1 ~sk:"key1" in
+      let keys = List.init 20 (fun i -> Printf.sprintf "acct-%d" i) in
+      (match
+         Client.execute c (fun h ->
+             List.iter (fun k -> Client.put h k "100") keys)
+       with
+       | Ok _ -> ()
+       | Error e -> Alcotest.failf "setup failed: %s" e);
+      (* Transfer between two keys on (almost surely) different shards. *)
+      (match
+         Client.execute c (fun h ->
+             let a = Option.get (Client.get h "acct-0") in
+             let b = Option.get (Client.get h "acct-1") in
+             Client.put h "acct-0" (string_of_int (int_of_string a - 10));
+             Client.put h "acct-1" (string_of_int (int_of_string b + 10)))
+       with
+       | Ok _ -> ()
+       | Error e -> Alcotest.failf "transfer failed: %s" e);
+      match
+        Client.execute c (fun h ->
+            (Option.get (Client.get h "acct-0"), Option.get (Client.get h "acct-1")))
+      with
+      | Ok ((a, b), _) ->
+        Alcotest.(check string) "debited" "90" a;
+        Alcotest.(check string) "credited" "110" b
+      | Error e -> Alcotest.failf "check failed: %s" e)
+
+let test_txn_conflict_aborts () =
+  with_cluster ~shards:1 (fun cl ->
+      let c1 = Client.create cl ~id:1 ~sk:"k1" in
+      ignore (Client.execute c1 (fun h -> Client.put h "c" "0"));
+      (* Interleave two clients read-modify-write on the same key at the
+         same virtual time: one must abort. *)
+      let results = ref [] in
+      let iv1 = Sim.Ivar.create () and iv2 = Sim.Ivar.create () in
+      let attempt iv id =
+        Sim.spawn (fun () ->
+            let c = Client.create cl ~id ~sk:"k" in
+            let r =
+              Client.execute c (fun h ->
+                  let v = Option.get (Client.get h "c") in
+                  Client.put h "c" (string_of_int (int_of_string v + 1)))
+            in
+            results := (id, Result.is_ok r) :: !results;
+            Sim.Ivar.fill iv ())
+      in
+      attempt iv1 10;
+      attempt iv2 11;
+      Sim.Ivar.read iv1;
+      Sim.Ivar.read iv2;
+      let oks = List.filter snd !results in
+      Alcotest.(check int) "exactly one commits" 1 (List.length oks);
+      (* Counter must reflect exactly one increment. *)
+      match Client.execute c1 (fun h -> Client.get h "c") with
+      | Ok (Some "1", _) -> ()
+      | Ok (v, _) ->
+        Alcotest.failf "counter = %s" (Option.value ~default:"None" v)
+      | Error e -> Alcotest.failf "read failed: %s" e)
+
+let test_deferred_verification_roundtrip () =
+  with_cluster (fun cl ->
+      let c =
+        Client.create
+          ~config:{ Client.rpc_timeout = 1.0; verify_delay = 0.1 }
+          cl ~id:1 ~sk:"k1"
+      in
+      let results = ref [] in
+      for i = 0 to 19 do
+        match Client.verified_put c (Printf.sprintf "vk%d" i) (string_of_int i) with
+        | Ok _ -> ()
+        | Error e -> Alcotest.failf "put %d failed: %s" i e
+      done;
+      Alcotest.(check int) "promises queued" 20 (Client.pending_verifications c);
+      (* Wait past the verify delay and a persist interval, then flush. *)
+      Sim.sleep 0.5;
+      results := Client.flush_verifications c ();
+      let verified =
+        List.fold_left (fun a v -> a + v.Client.v_keys) 0 !results
+      in
+      Alcotest.(check int) "all promises verified" 20 verified;
+      List.iter
+        (fun v -> if not v.Client.v_ok then Alcotest.fail "verification failed")
+        !results;
+      Alcotest.(check int) "no failures" 0 (Client.verification_failures c);
+      Alcotest.(check int) "queue drained" 0 (Client.pending_verifications c))
+
+let test_verified_get_latest_and_at () =
+  with_cluster (fun cl ->
+      let c = Client.create cl ~id:1 ~sk:"k1" in
+      ignore (Client.verified_put c "vg" "first");
+      Sim.sleep 0.2;
+      ignore (Client.verified_put c "vg" "second");
+      Sim.sleep 0.2;
+      ignore (Client.flush_verifications c ());
+      (match Client.verified_get_latest c "vg" with
+       | Ok (Some "second", v) ->
+         Alcotest.(check bool) "proof ok" true v.Client.v_ok;
+         Alcotest.(check bool) "proof bytes > 0" true (v.Client.v_proof_bytes > 0)
+       | Ok (v, _) ->
+         Alcotest.failf "latest = %s" (Option.value ~default:"None" v)
+       | Error e -> Alcotest.failf "verified get failed: %s" e);
+      (* Historical read at the first version's block. *)
+      let shard = Cluster.shard_of_key cl "vg" in
+      let nd = Cluster.node cl shard in
+      let first_block =
+        match Ledger.get_history (Node.ledger_of nd) "vg" ~n:2 with
+        | [ _; (_, b) ] -> b
+        | _ -> Alcotest.fail "expected two versions"
+      in
+      match Client.verified_get_at c "vg" ~block:first_block with
+      | Ok (Some "first", v) -> Alcotest.(check bool) "at-proof ok" true v.Client.v_ok
+      | Ok (v, _) -> Alcotest.failf "at = %s" (Option.value ~default:"None" v)
+      | Error e -> Alcotest.failf "verified get_at failed: %s" e)
+
+let test_sync_persist_mode () =
+  let node = { Node.default_config with Node.sync_persist = true } in
+  with_cluster ~node (fun cl ->
+      let c =
+        Client.create ~config:{ Client.rpc_timeout = 1.0; verify_delay = 0.0 }
+          cl ~id:1 ~sk:"k"
+      in
+      (match Client.verified_put c "s" "1" with
+       | Ok p -> Alcotest.(check int) "block 0 promised" 0 p.Node.pr_block
+       | Error e -> Alcotest.failf "put failed: %s" e);
+      (* With synchronous persistence the proof is available immediately. *)
+      let vs = Client.flush_verifications c () in
+      Alcotest.(check int) "verified immediately" 1
+        (List.fold_left (fun a v -> a + v.Client.v_keys) 0 vs))
+
+let test_auditor_accepts_honest_server () =
+  with_cluster ~shards:2 (fun cl ->
+      let c = Client.create cl ~id:1 ~sk:"pk1" in
+      let a = Auditor.create cl ~id:0 in
+      Auditor.register_client a ~client:1 ~pk:"pk1";
+      for i = 0 to 30 do
+        ignore
+          (Client.execute c (fun h ->
+               Client.put h (Printf.sprintf "ak%d" (i mod 7)) (string_of_int i)))
+      done;
+      Sim.sleep 0.2;
+      let reports = Auditor.audit_all a in
+      List.iter
+        (fun r ->
+          if not r.Auditor.ar_ok then
+            Alcotest.failf "audit failed on shard %d" r.Auditor.ar_shard)
+        reports;
+      let blocks = List.fold_left (fun acc r -> acc + r.Auditor.ar_blocks) 0 reports in
+      Alcotest.(check bool) "blocks audited" true (blocks > 0);
+      Alcotest.(check int) "no violations" 0 (Auditor.failures a);
+      (* Incremental re-audit sees nothing new. *)
+      let again = Auditor.audit_all a in
+      Alcotest.(check int) "nothing new" 0
+        (List.fold_left (fun acc r -> acc + r.Auditor.ar_blocks) 0 again);
+      (* User digest check. *)
+      let shard = 0 in
+      Alcotest.(check bool) "user digest accepted" true
+        (Auditor.verify_user_digest a ~shard (Client.digest_of_shard c shard)))
+
+let test_auditor_detects_unauthorized_txn () =
+  with_cluster ~shards:1 (fun cl ->
+      let c = Client.create cl ~id:1 ~sk:"pk1" in
+      let a = Auditor.create cl ~id:0 in
+      Auditor.register_client a ~client:1 ~pk:"pk1";
+      ignore (Client.execute c (fun h -> Client.put h "k" "v"));
+      Sim.sleep 0.2;
+      ignore (Auditor.audit_all a);
+      (* The server slips in a write not vouched by any signed txn. *)
+      let nd = Cluster.node cl 0 in
+      let forged = Kv.sign ~sk:"attacker" ~tid:"evil" ~client:99
+          { Kv.reads = []; writes = [ ("k", "tampered") ] } in
+      (match Node.prepare nd ~rw:forged.Kv.rw forged with
+       | Txnkit.Occ.Ok -> ignore (Node.commit nd "evil")
+       | Txnkit.Occ.Conflict _ -> Alcotest.fail "forged prepare rejected?");
+      Sim.sleep 0.2;
+      let reports = Auditor.audit_all a in
+      Alcotest.(check bool) "audit flags the block" true
+        (List.exists (fun r -> not r.Auditor.ar_ok) reports);
+      Alcotest.(check bool) "violation recorded" true (Auditor.failures a > 0))
+
+let test_crash_aborts_then_recovery_preserves_data () =
+  with_cluster ~shards:2 (fun cl ->
+      let c =
+        Client.create ~config:{ Client.rpc_timeout = 0.05; verify_delay = 0.1 }
+          cl ~id:1 ~sk:"k"
+      in
+      ignore (Client.execute c (fun h -> Client.put h "r0" "before"));
+      Sim.sleep 0.2;
+      (* Find the shard of a key and crash it. *)
+      let shard = Cluster.shard_of_key cl "r0" in
+      (* Commit a write that will still be in the committed map when the
+         crash hits (no persist between commit and crash). *)
+      ignore (Client.execute c (fun h -> Client.put h "r0" "unpersisted"));
+      Cluster.crash_node cl shard;
+      (* Transactions touching the dead shard abort by timeout. *)
+      (match Client.execute c (fun h -> Client.put h "r0" "during-crash") with
+       | Error _ -> ()
+       | Ok _ -> Alcotest.fail "write to crashed shard should abort");
+      Cluster.recover_node cl shard;
+      Sim.sleep 0.3;
+      (* The WAL-recovered write must be persisted after recovery. *)
+      match Client.execute c (fun h -> Client.get h "r0") with
+      | Ok (Some "unpersisted", _) -> ()
+      | Ok (v, _) ->
+        Alcotest.failf "after recovery r0 = %s" (Option.value ~default:"None" v)
+      | Error e -> Alcotest.failf "read failed: %s" e)
+
+let test_storage_accounting () =
+  with_cluster (fun cl ->
+      let c = Client.create cl ~id:1 ~sk:"k" in
+      for i = 0 to 99 do
+        ignore
+          (Client.execute c (fun h ->
+               Client.put h (Printf.sprintf "sk%d" i) (String.make 50 'x')))
+      done;
+      Sim.sleep 0.5;
+      Alcotest.(check bool) "storage grows" true (Cluster.total_storage_bytes cl > 0);
+      Alcotest.(check bool) "blocks created" true (Cluster.total_blocks cl > 0);
+      Alcotest.(check int) "100 commits" 100 (Cluster.total_commits cl))
+
+let () =
+  Alcotest.run "glassdb"
+    [ ("ledger",
+       [ Alcotest.test_case "append and get" `Quick test_ledger_append_get;
+         Alcotest.test_case "history walk" `Quick test_ledger_history;
+         Alcotest.test_case "duplicate key rejected" `Quick test_ledger_duplicate_key_in_block_rejected;
+         Alcotest.test_case "inclusion + current proofs" `Quick test_ledger_inclusion_and_current_proofs;
+         Alcotest.test_case "append-only proofs" `Quick test_ledger_append_only_proofs;
+         Alcotest.test_case "fork detection" `Quick test_ledger_append_only_detects_fork ]);
+      ("transactions",
+       [ Alcotest.test_case "commit and read" `Quick test_txn_commit_and_read;
+         Alcotest.test_case "cross-shard atomicity" `Quick test_txn_cross_shard_atomicity;
+         Alcotest.test_case "conflicting increments" `Quick test_txn_conflict_aborts ]);
+      ("verification",
+       [ Alcotest.test_case "deferred roundtrip" `Quick test_deferred_verification_roundtrip;
+         Alcotest.test_case "verified get latest/at" `Quick test_verified_get_latest_and_at;
+         Alcotest.test_case "sync-persist mode" `Quick test_sync_persist_mode ]);
+      ("auditing",
+       [ Alcotest.test_case "honest server passes" `Quick test_auditor_accepts_honest_server;
+         Alcotest.test_case "unauthorized txn detected" `Quick test_auditor_detects_unauthorized_txn ]);
+      ("failures",
+       [ Alcotest.test_case "crash, abort, recover" `Quick test_crash_aborts_then_recovery_preserves_data ]);
+      ("accounting",
+       [ Alcotest.test_case "storage and commits" `Quick test_storage_accounting ]) ]

@@ -1,0 +1,344 @@
+(* Tests for the Merkle substrates: history tree (transparency log),
+   Merkle Patricia Trie, and sparse Merkle tree. *)
+
+open Glassdb_util
+open Mtree
+
+(* --- Merkle history tree --- *)
+
+let mk_log n =
+  let log = Merkle_log.create () in
+  for i = 0 to n - 1 do
+    ignore (Merkle_log.append log (Printf.sprintf "entry-%d" i))
+  done;
+  log
+
+let test_log_empty_root () =
+  let log = Merkle_log.create () in
+  Alcotest.(check bool) "empty root" true
+    (Hash.equal (Merkle_log.root log) Hash.empty)
+
+let test_log_single_leaf_root () =
+  let log = Merkle_log.create () in
+  ignore (Merkle_log.append log "x");
+  Alcotest.(check bool) "root = leaf hash" true
+    (Hash.equal (Merkle_log.root log) (Hash.leaf "x"))
+
+let test_log_root_at_is_stable () =
+  let log = mk_log 100 in
+  let roots = List.init 100 (fun i -> Merkle_log.root_at log (i + 1)) in
+  for _ = 1 to 50 do
+    ignore (Merkle_log.append log "more")
+  done;
+  List.iteri
+    (fun i r ->
+      Alcotest.(check bool)
+        (Printf.sprintf "root_at %d unchanged" (i + 1))
+        true
+        (Hash.equal r (Merkle_log.root_at log (i + 1))))
+    roots
+
+let test_log_inclusion_all_positions () =
+  let n = 65 in
+  let log = mk_log n in
+  for size = 1 to n do
+    let root = Merkle_log.root_at log size in
+    for index = 0 to size - 1 do
+      let proof = Merkle_log.inclusion_proof log ~index ~size in
+      if
+        not
+          (Merkle_log.verify_inclusion ~root ~size ~index
+             ~leaf:(Printf.sprintf "entry-%d" index)
+             proof)
+      then Alcotest.failf "inclusion failed at index=%d size=%d" index size
+    done
+  done
+
+let test_log_inclusion_rejects_wrong_leaf () =
+  let log = mk_log 33 in
+  let root = Merkle_log.root log in
+  let proof = Merkle_log.inclusion_proof log ~index:5 ~size:33 in
+  Alcotest.(check bool) "tampered leaf rejected" false
+    (Merkle_log.verify_inclusion ~root ~size:33 ~index:5 ~leaf:"entry-6" proof);
+  Alcotest.(check bool) "wrong index rejected" false
+    (Merkle_log.verify_inclusion ~root ~size:33 ~index:6 ~leaf:"entry-5" proof)
+
+let test_log_inclusion_rejects_truncated_proof () =
+  let log = mk_log 32 in
+  let root = Merkle_log.root log in
+  match Merkle_log.inclusion_proof log ~index:3 ~size:32 with
+  | [] -> Alcotest.fail "proof unexpectedly empty"
+  | _ :: rest ->
+    Alcotest.(check bool) "truncated rejected" false
+      (Merkle_log.verify_inclusion ~root ~size:32 ~index:3 ~leaf:"entry-3" rest)
+
+let test_log_consistency_all_pairs () =
+  let n = 40 in
+  let log = mk_log n in
+  for m = 0 to n do
+    for n' = m to n do
+      let proof = Merkle_log.consistency_proof log ~old_size:m ~new_size:n' in
+      if
+        not
+          (Merkle_log.verify_consistency
+             ~old_root:(Merkle_log.root_at log m)
+             ~old_size:m
+             ~new_root:(Merkle_log.root_at log n')
+             ~new_size:n' proof)
+      then Alcotest.failf "consistency failed m=%d n=%d" m n'
+    done
+  done
+
+let test_log_consistency_rejects_fork () =
+  (* Two logs diverging at entry 10: neither's head extends the other's. *)
+  let a = mk_log 20 in
+  let b = Merkle_log.create () in
+  for i = 0 to 19 do
+    ignore
+      (Merkle_log.append b
+         (if i < 10 then Printf.sprintf "entry-%d" i else Printf.sprintf "fork-%d" i))
+  done;
+  let proof = Merkle_log.consistency_proof b ~old_size:15 ~new_size:20 in
+  Alcotest.(check bool) "fork detected" false
+    (Merkle_log.verify_consistency
+       ~old_root:(Merkle_log.root_at a 15)
+       ~old_size:15
+       ~new_root:(Merkle_log.root_at b 20)
+       ~new_size:20 proof)
+
+let prop_log_consistency =
+  QCheck.Test.make ~name:"consistency proofs verify for random sizes" ~count:60
+    QCheck.(pair (int_range 1 200) (int_range 0 200))
+    (fun (n, m0) ->
+      let m = m0 mod (n + 1) in
+      let log = mk_log n in
+      let proof = Merkle_log.consistency_proof log ~old_size:m ~new_size:n in
+      Merkle_log.verify_consistency
+        ~old_root:(Merkle_log.root_at log m)
+        ~old_size:m ~new_root:(Merkle_log.root log) ~new_size:n proof)
+
+let prop_log_inclusion =
+  QCheck.Test.make ~name:"inclusion proofs verify for random logs" ~count:60
+    QCheck.(pair (int_range 1 200) small_nat)
+    (fun (n, i0) ->
+      let index = i0 mod n in
+      let log = mk_log n in
+      let proof = Merkle_log.inclusion_proof log ~index ~size:n in
+      Merkle_log.verify_inclusion ~root:(Merkle_log.root log) ~size:n ~index
+        ~leaf:(Printf.sprintf "entry-%d" index)
+        proof)
+
+let test_log_proof_codec_roundtrip () =
+  let log = mk_log 50 in
+  let proof = Merkle_log.inclusion_proof log ~index:7 ~size:50 in
+  let s = Codec.to_string Merkle_log.encode_proof proof in
+  Alcotest.(check bool) "roundtrip" true
+    (Codec.of_string Merkle_log.decode_proof s = proof)
+
+let test_log_proof_size_logarithmic () =
+  let log = mk_log 1024 in
+  let p = Merkle_log.inclusion_proof log ~index:0 ~size:1024 in
+  Alcotest.(check int) "1024 leaves -> 10 siblings" 10 (List.length p)
+
+(* --- Merkle Patricia Trie --- *)
+
+let test_mpt_get_set () =
+  let t = Mpt.empty in
+  Alcotest.(check (option string)) "miss on empty" None (Mpt.get t "a");
+  let t = Mpt.set t "alpha" "1" in
+  let t = Mpt.set t "alter" "2" in
+  let t = Mpt.set t "al" "3" in
+  let t = Mpt.set t "beta" "4" in
+  Alcotest.(check (option string)) "alpha" (Some "1") (Mpt.get t "alpha");
+  Alcotest.(check (option string)) "alter" (Some "2") (Mpt.get t "alter");
+  Alcotest.(check (option string)) "al" (Some "3") (Mpt.get t "al");
+  Alcotest.(check (option string)) "beta" (Some "4") (Mpt.get t "beta");
+  Alcotest.(check (option string)) "miss" None (Mpt.get t "alp");
+  let t = Mpt.set t "alpha" "1'" in
+  Alcotest.(check (option string)) "overwrite" (Some "1'") (Mpt.get t "alpha");
+  Alcotest.(check int) "cardinal" 4 (Mpt.cardinal t)
+
+let test_mpt_snapshots_immutable () =
+  let t0 = Mpt.set Mpt.empty "k" "v0" in
+  let r0 = Mpt.root_hash t0 in
+  let t1 = Mpt.set t0 "k" "v1" in
+  Alcotest.(check (option string)) "old snapshot intact" (Some "v0") (Mpt.get t0 "k");
+  Alcotest.(check bool) "root changed" false (Hash.equal r0 (Mpt.root_hash t1));
+  Alcotest.(check bool) "old root stable" true (Hash.equal r0 (Mpt.root_hash t0))
+
+let test_mpt_insertion_order_independent () =
+  let kvs = [ ("a", "1"); ("ab", "2"); ("abc", "3"); ("b", "4"); ("ba", "5") ] in
+  let t1 = List.fold_left (fun t (k, v) -> Mpt.set t k v) Mpt.empty kvs in
+  let t2 = List.fold_left (fun t (k, v) -> Mpt.set t k v) Mpt.empty (List.rev kvs) in
+  Alcotest.(check bool) "canonical root" true
+    (Hash.equal (Mpt.root_hash t1) (Mpt.root_hash t2))
+
+let test_mpt_proofs () =
+  let kvs = List.init 50 (fun i -> (Printf.sprintf "key-%03d" i, string_of_int i)) in
+  let t = List.fold_left (fun t (k, v) -> Mpt.set t k v) Mpt.empty kvs in
+  let root = Mpt.root_hash t in
+  List.iter
+    (fun (k, v) ->
+      let p = Mpt.prove t k in
+      if not (Mpt.verify ~root ~key:k ~value:(Some v) p) then
+        Alcotest.failf "presence proof failed for %s" k;
+      if Mpt.verify ~root ~key:k ~value:(Some (v ^ "!")) p then
+        Alcotest.failf "wrong value accepted for %s" k;
+      if Mpt.verify ~root ~key:k ~value:None p then
+        Alcotest.failf "absence accepted for present key %s" k)
+    kvs;
+  let p = Mpt.prove t "key-999" in
+  Alcotest.(check bool) "absence proof" true
+    (Mpt.verify ~root ~key:"key-999" ~value:None p);
+  Alcotest.(check bool) "fake presence rejected" false
+    (Mpt.verify ~root ~key:"key-999" ~value:(Some "x") p)
+
+let test_mpt_bindings () =
+  let kvs = [ ("b", "2"); ("a", "1"); ("c", "3") ] in
+  let t = List.fold_left (fun t (k, v) -> Mpt.set t k v) Mpt.empty kvs in
+  Alcotest.(check (list (pair string string))) "sorted bindings"
+    [ ("a", "1"); ("b", "2"); ("c", "3") ]
+    (Mpt.bindings t)
+
+let prop_mpt_model =
+  QCheck.Test.make ~name:"mpt agrees with assoc-map model" ~count:100
+    QCheck.(list (pair (string_of_size (Gen.int_range 1 6)) small_string))
+    (fun kvs ->
+      let t = List.fold_left (fun t (k, v) -> Mpt.set t k v) Mpt.empty kvs in
+      let module M = Map.Make (String) in
+      let m = List.fold_left (fun m (k, v) -> M.add k v m) M.empty kvs in
+      M.for_all (fun k v -> Mpt.get t k = Some v) m
+      && Mpt.cardinal t = M.cardinal m
+      && Mpt.bindings t = M.bindings m)
+
+let prop_mpt_root_order_independent =
+  QCheck.Test.make ~name:"mpt root independent of insert order" ~count:60
+    QCheck.(list (pair (string_of_size (Gen.int_range 1 5)) small_string))
+    (fun kvs ->
+      (* Deduplicate keys, keeping the last write, as both orders must agree
+         on final content. *)
+      let module M = Map.Make (String) in
+      let m = List.fold_left (fun m (k, v) -> M.add k v m) M.empty kvs in
+      let kvs = M.bindings m in
+      let t1 = List.fold_left (fun t (k, v) -> Mpt.set t k v) Mpt.empty kvs in
+      let t2 =
+        List.fold_left (fun t (k, v) -> Mpt.set t k v) Mpt.empty (List.rev kvs)
+      in
+      Hash.equal (Mpt.root_hash t1) (Mpt.root_hash t2))
+
+(* --- Sparse Merkle tree --- *)
+
+let test_smt_get_set () =
+  let t = Smt.create () in
+  Alcotest.(check (option string)) "miss" None (Smt.get t "k");
+  let t = Smt.set t "k" "v" in
+  let t = Smt.set t "k2" "v2" in
+  Alcotest.(check (option string)) "hit" (Some "v") (Smt.get t "k");
+  Alcotest.(check (option string)) "hit2" (Some "v2") (Smt.get t "k2");
+  let t = Smt.set t "k" "v'" in
+  Alcotest.(check (option string)) "overwrite" (Some "v'") (Smt.get t "k");
+  Alcotest.(check int) "cardinal" 2 (Smt.cardinal t)
+
+let test_smt_empty_root_is_default () =
+  let a = Smt.create () and b = Smt.create () in
+  Alcotest.(check bool) "same empty root" true
+    (Hash.equal (Smt.root_hash a) (Smt.root_hash b));
+  let c = Smt.create ~depth:8 () in
+  Alcotest.(check bool) "depth changes root" false
+    (Hash.equal (Smt.root_hash a) (Smt.root_hash c))
+
+let test_smt_order_independent () =
+  let kvs = List.init 30 (fun i -> (Printf.sprintf "key%d" i, string_of_int i)) in
+  let t1 = Smt.set_batch (Smt.create ()) kvs in
+  let t2 = Smt.set_batch (Smt.create ()) (List.rev kvs) in
+  Alcotest.(check bool) "canonical root" true
+    (Hash.equal (Smt.root_hash t1) (Smt.root_hash t2))
+
+let test_smt_proofs () =
+  let kvs = List.init 64 (fun i -> (Printf.sprintf "key%d" i, string_of_int i)) in
+  let t = Smt.set_batch (Smt.create ()) kvs in
+  let root = Smt.root_hash t in
+  List.iter
+    (fun (k, v) ->
+      let p = Smt.prove t k in
+      if not (Smt.verify ~root ~key:k ~value:v p) then
+        Alcotest.failf "smt proof failed for %s" k;
+      if Smt.verify ~root ~key:k ~value:(v ^ "!") p then
+        Alcotest.failf "smt accepted wrong value for %s" k;
+      if Smt.verify ~root:(Hash.of_string "bogus") ~key:k ~value:v p then
+        Alcotest.failf "smt accepted wrong root for %s" k)
+    kvs;
+  match Smt.prove t "absent" with
+  | exception Not_found -> ()
+  | _ -> Alcotest.fail "prove of absent key should raise"
+
+let test_smt_proof_size_logarithmic () =
+  let t = Smt.set_batch (Smt.create ()) (List.init 1024 (fun i -> (string_of_int i, "v"))) in
+  let p = Smt.prove t "512" in
+  (* ~log2(1024) = 10 non-default siblings expected, allow slack. *)
+  let size = Smt.proof_size_bytes p in
+  if size > 30 * Hash.size then
+    Alcotest.failf "proof unexpectedly large: %d bytes" size
+
+let test_smt_snapshot_immutable () =
+  let t0 = Smt.set (Smt.create ()) "a" "1" in
+  let r0 = Smt.root_hash t0 in
+  let t1 = Smt.set t0 "b" "2" in
+  Alcotest.(check bool) "old root stable" true (Hash.equal r0 (Smt.root_hash t0));
+  Alcotest.(check (option string)) "old snapshot misses b" None (Smt.get t0 "b");
+  Alcotest.(check (option string)) "new snapshot has b" (Some "2") (Smt.get t1 "b")
+
+let prop_smt_model =
+  QCheck.Test.make ~name:"smt agrees with assoc-map model" ~count:80
+    QCheck.(list (pair (string_of_size (Gen.int_range 1 6)) small_string))
+    (fun kvs ->
+      let t = Smt.set_batch (Smt.create ()) kvs in
+      let module M = Map.Make (String) in
+      let m = List.fold_left (fun m (k, v) -> M.add k v m) M.empty kvs in
+      M.for_all (fun k v -> Smt.get t k = Some v) m
+      && Smt.cardinal t = M.cardinal m)
+
+let prop_smt_proofs_verify =
+  QCheck.Test.make ~name:"smt proofs verify for random maps" ~count:40
+    QCheck.(list_of_size (Gen.int_range 1 40)
+              (pair (string_of_size (Gen.int_range 1 6)) small_string))
+    (fun kvs ->
+      let t = Smt.set_batch (Smt.create ()) kvs in
+      let root = Smt.root_hash t in
+      let module M = Map.Make (String) in
+      let m = List.fold_left (fun m (k, v) -> M.add k v m) M.empty kvs in
+      M.for_all
+        (fun k v -> Smt.verify ~root ~key:k ~value:v (Smt.prove t k))
+        m)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "mtree"
+    [ ("merkle_log",
+       [ Alcotest.test_case "empty root" `Quick test_log_empty_root;
+         Alcotest.test_case "single leaf" `Quick test_log_single_leaf_root;
+         Alcotest.test_case "root_at stable under appends" `Quick test_log_root_at_is_stable;
+         Alcotest.test_case "inclusion at all positions" `Quick test_log_inclusion_all_positions;
+         Alcotest.test_case "inclusion rejects wrong leaf" `Quick test_log_inclusion_rejects_wrong_leaf;
+         Alcotest.test_case "inclusion rejects truncated proof" `Quick test_log_inclusion_rejects_truncated_proof;
+         Alcotest.test_case "consistency for all pairs" `Quick test_log_consistency_all_pairs;
+         Alcotest.test_case "consistency rejects fork" `Quick test_log_consistency_rejects_fork;
+         Alcotest.test_case "proof codec roundtrip" `Quick test_log_proof_codec_roundtrip;
+         Alcotest.test_case "proof size logarithmic" `Quick test_log_proof_size_logarithmic ]
+       @ qsuite [ prop_log_inclusion; prop_log_consistency ]);
+      ("mpt",
+       [ Alcotest.test_case "get/set" `Quick test_mpt_get_set;
+         Alcotest.test_case "snapshots immutable" `Quick test_mpt_snapshots_immutable;
+         Alcotest.test_case "order independent" `Quick test_mpt_insertion_order_independent;
+         Alcotest.test_case "proofs" `Quick test_mpt_proofs;
+         Alcotest.test_case "bindings sorted" `Quick test_mpt_bindings ]
+       @ qsuite [ prop_mpt_model; prop_mpt_root_order_independent ]);
+      ("smt",
+       [ Alcotest.test_case "get/set" `Quick test_smt_get_set;
+         Alcotest.test_case "empty root default" `Quick test_smt_empty_root_is_default;
+         Alcotest.test_case "order independent" `Quick test_smt_order_independent;
+         Alcotest.test_case "proofs" `Quick test_smt_proofs;
+         Alcotest.test_case "proof size logarithmic" `Quick test_smt_proof_size_logarithmic;
+         Alcotest.test_case "snapshot immutable" `Quick test_smt_snapshot_immutable ]
+       @ qsuite [ prop_smt_model; prop_smt_proofs_verify ]) ]

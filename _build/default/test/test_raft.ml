@@ -1,0 +1,153 @@
+(* Tests for the Raft replication layer: election, replication, commit,
+   leader failover, log convergence, and safety under crashes. *)
+
+let collect_applies () =
+  let tbl : (int, string list ref) Hashtbl.t = Hashtbl.create 8 in
+  let apply ~replica_id ~index:_ cmd =
+    let l =
+      match Hashtbl.find_opt tbl replica_id with
+      | Some l -> l
+      | None ->
+        let l = ref [] in
+        Hashtbl.replace tbl replica_id l;
+        l
+    in
+    l := cmd :: !l
+  in
+  (tbl, apply)
+
+let applied tbl id =
+  match Hashtbl.find_opt tbl id with
+  | Some l -> List.rev !l
+  | None -> []
+
+let test_elects_leader () =
+  Sim.run (fun () ->
+      let _, apply = collect_applies () in
+      let g = Raft.create ~n:3 ~seed:1 ~apply () in
+      Raft.start g;
+      Sim.sleep 1.0;
+      (match Raft.leader g with
+       | Some _ -> ()
+       | None -> Alcotest.fail "no leader after 1s");
+      Raft.stop g)
+
+let test_replicates_commands () =
+  Sim.run (fun () ->
+      let tbl, apply = collect_applies () in
+      let g = Raft.create ~n:3 ~seed:2 ~apply () in
+      Raft.start g;
+      Sim.sleep 1.0;
+      for i = 1 to 10 do
+        if not (Raft.submit g (Printf.sprintf "cmd%d" i)) then
+          Alcotest.failf "submit %d failed" i
+      done;
+      Sim.sleep 0.5;
+      Raft.stop g;
+      let expected = List.init 10 (fun i -> Printf.sprintf "cmd%d" (i + 1)) in
+      for r = 0 to 2 do
+        Alcotest.(check (list string))
+          (Printf.sprintf "replica %d applied all in order" r)
+          expected (applied tbl r)
+      done)
+
+let test_leader_failover () =
+  Sim.run (fun () ->
+      let tbl, apply = collect_applies () in
+      let g = Raft.create ~n:3 ~seed:3 ~apply () in
+      Raft.start g;
+      Sim.sleep 1.0;
+      Alcotest.(check bool) "first command" true (Raft.submit g "before");
+      let l1 = Option.get (Raft.leader g) in
+      Raft.crash g l1;
+      Sim.sleep 2.0;
+      (match Raft.leader g with
+       | Some l2 when l2 <> l1 -> ()
+       | Some _ -> Alcotest.fail "dead node still leader"
+       | None -> Alcotest.fail "no new leader elected");
+      Alcotest.(check bool) "command after failover" true (Raft.submit g "after");
+      (* The recovered node catches up. *)
+      Raft.recover g l1;
+      Sim.sleep 2.0;
+      Raft.stop g;
+      let survivors = List.filter (fun r -> r <> l1) [ 0; 1; 2 ] in
+      List.iter
+        (fun r ->
+          Alcotest.(check (list string))
+            (Printf.sprintf "replica %d has both" r)
+            [ "before"; "after" ] (applied tbl r))
+        survivors;
+      Alcotest.(check (list string)) "recovered node caught up"
+        [ "before"; "after" ] (applied tbl l1))
+
+let test_no_commit_without_majority () =
+  Sim.run (fun () ->
+      let _, apply = collect_applies () in
+      let g = Raft.create ~n:3 ~seed:4 ~apply () in
+      Raft.start g;
+      Sim.sleep 1.0;
+      let l = Option.get (Raft.leader g) in
+      (* Crash both followers: the leader must not commit. *)
+      List.iter (fun r -> if r <> l then Raft.crash g r) [ 0; 1; 2 ];
+      Alcotest.(check bool) "submit fails without majority" false
+        (Raft.submit g ~timeout:0.5 "doomed");
+      Raft.stop g)
+
+let test_single_replica_group () =
+  Sim.run (fun () ->
+      let tbl, apply = collect_applies () in
+      let g = Raft.create ~n:1 ~seed:5 ~apply () in
+      Raft.start g;
+      Sim.sleep 1.0;
+      Alcotest.(check bool) "commits alone" true (Raft.submit g "solo");
+      Raft.stop g;
+      Alcotest.(check (list string)) "applied" [ "solo" ] (applied tbl 0))
+
+let test_logs_converge_after_partition_heal () =
+  (* Crash a follower mid-stream; it must converge after recovery. *)
+  Sim.run (fun () ->
+      let tbl, apply = collect_applies () in
+      let g = Raft.create ~n:3 ~seed:6 ~apply () in
+      Raft.start g;
+      Sim.sleep 1.0;
+      let l = Option.get (Raft.leader g) in
+      let follower = List.find (fun r -> r <> l) [ 0; 1; 2 ] in
+      Alcotest.(check bool) "c1" true (Raft.submit g "c1");
+      Raft.crash g follower;
+      Alcotest.(check bool) "c2 with 2/3" true (Raft.submit g "c2");
+      Alcotest.(check bool) "c3 with 2/3" true (Raft.submit g "c3");
+      Raft.recover g follower;
+      Sim.sleep 2.0;
+      Raft.stop g;
+      Alcotest.(check (list string)) "follower converged"
+        [ "c1"; "c2"; "c3" ] (applied tbl follower))
+
+let test_deterministic_runs () =
+  let run () =
+    let trace = ref [] in
+    Sim.run (fun () ->
+        let g =
+          Raft.create ~n:3 ~seed:7
+            ~apply:(fun ~replica_id ~index cmd ->
+              trace := (replica_id, index, cmd, Sim.now ()) :: !trace)
+            ()
+        in
+        Raft.start g;
+        Sim.sleep 1.0;
+        ignore (Raft.submit g "x");
+        Sim.sleep 0.5;
+        Raft.stop g);
+    !trace
+  in
+  Alcotest.(check bool) "same trace twice" true (run () = run ())
+
+let () =
+  Alcotest.run "raft"
+    [ ("raft",
+       [ Alcotest.test_case "elects a leader" `Quick test_elects_leader;
+         Alcotest.test_case "replicates in order" `Quick test_replicates_commands;
+         Alcotest.test_case "leader failover" `Quick test_leader_failover;
+         Alcotest.test_case "no commit without majority" `Quick test_no_commit_without_majority;
+         Alcotest.test_case "single replica" `Quick test_single_replica_group;
+         Alcotest.test_case "convergence after heal" `Quick test_logs_converge_after_partition_heal;
+         Alcotest.test_case "deterministic" `Quick test_deterministic_runs ]) ]

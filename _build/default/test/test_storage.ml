@@ -1,0 +1,156 @@
+(* Tests for the storage substrates: node store, WAL, B+-tree, skip list. *)
+
+open Glassdb_util
+open Storage
+
+(* --- Node store --- *)
+
+let test_node_store_dedup () =
+  let s = Node_store.create () in
+  let h = Hash.of_string "node" in
+  Node_store.put s h "payload";
+  let bytes1 = Node_store.total_bytes s in
+  Node_store.put s h "payload";
+  Alcotest.(check int) "dedup: second put free" bytes1 (Node_store.total_bytes s);
+  Alcotest.(check int) "one node" 1 (Node_store.node_count s);
+  Alcotest.(check (option string)) "get" (Some "payload") (Node_store.get s h);
+  Alcotest.(check (option string)) "miss" None
+    (Node_store.get s (Hash.of_string "other"))
+
+let test_node_store_work_accounting () =
+  let s = Node_store.create () in
+  let (), c =
+    Work.measure (fun () -> Node_store.put s (Hash.of_string "k") "0123456789")
+  in
+  Alcotest.(check int) "one node write" 1 c.Work.node_writes;
+  Alcotest.(check int) "bytes = payload + hash" (10 + Hash.size) c.Work.bytes_written;
+  let (), c2 = Work.measure (fun () -> ignore (Node_store.get s Hash.empty)) in
+  Alcotest.(check int) "one page read" 1 c2.Work.page_reads
+
+(* --- WAL --- *)
+
+let test_wal_append_and_replay () =
+  let w = Wal.create () in
+  Alcotest.(check int) "empty last_seq" (-1) (Wal.last_seq w);
+  let s0 = Wal.append w ~kind:"prepare" ~payload:"t1" in
+  let s1 = Wal.append w ~kind:"commit" ~payload:"t1" in
+  Alcotest.(check (list int)) "seqs" [ 0; 1 ] [ s0; s1 ];
+  let tail = Wal.records_from w 1 in
+  Alcotest.(check int) "tail length" 1 (List.length tail);
+  Alcotest.(check string) "tail kind" "commit" (List.hd tail).Wal.kind;
+  Wal.truncate_before w 1;
+  Alcotest.(check int) "after truncate" 1 (List.length (Wal.records_from w 0));
+  Alcotest.(check int) "seq continues" 2 (Wal.append w ~kind:"commit" ~payload:"t2")
+
+(* --- B+-tree --- *)
+
+let test_bptree_basic () =
+  let t = Bptree.create ~order:4 () in
+  List.iter (fun i -> Bptree.insert t (Printf.sprintf "%03d" i) i) [ 5; 1; 9; 3; 7 ];
+  Alcotest.(check (option int)) "find 005" (Some 5) (Bptree.find t "005");
+  Alcotest.(check (option int)) "miss" None (Bptree.find t "004");
+  Bptree.insert t "005" 50;
+  Alcotest.(check (option int)) "overwrite" (Some 50) (Bptree.find t "005");
+  Alcotest.(check int) "cardinal" 5 (Bptree.cardinal t)
+
+let test_bptree_many_and_sorted () =
+  let t = Bptree.create ~order:8 () in
+  let n = 5000 in
+  let rng = Rng.create 77 in
+  let keys = Array.init n (fun i -> Printf.sprintf "key-%05d" i) in
+  Rng.shuffle rng keys;
+  Array.iter (fun k -> Bptree.insert t k k) keys;
+  Alcotest.(check int) "cardinal" n (Bptree.cardinal t);
+  let l = Bptree.to_list t in
+  Alcotest.(check int) "to_list length" n (List.length l);
+  let sorted = List.sort compare (Array.to_list keys) in
+  Alcotest.(check bool) "sorted order" true
+    (List.map fst l = sorted);
+  Alcotest.(check bool) "height grows" true (Bptree.height t > 1);
+  (* Every key findable after heavy splitting. *)
+  Array.iter
+    (fun k ->
+      if Bptree.find t k <> Some k then Alcotest.failf "lost key %s" k)
+    keys
+
+let test_bptree_range () =
+  let t = Bptree.create ~order:4 () in
+  for i = 0 to 99 do
+    Bptree.insert t (Printf.sprintf "%03d" i) i
+  done;
+  let r = Bptree.range t ~lo:"010" ~hi:"015" in
+  Alcotest.(check (list int)) "range values" [ 10; 11; 12; 13; 14 ]
+    (List.map snd r)
+
+let prop_bptree_model =
+  QCheck.Test.make ~name:"bptree agrees with map model" ~count:100
+    QCheck.(list (pair (string_of_size (Gen.int_range 1 6)) small_int))
+    (fun kvs ->
+      let t = Bptree.create ~order:4 () in
+      List.iter (fun (k, v) -> Bptree.insert t k v) kvs;
+      let module M = Map.Make (String) in
+      let m = List.fold_left (fun m (k, v) -> M.add k v m) M.empty kvs in
+      M.for_all (fun k v -> Bptree.find t k = Some v) m
+      && Bptree.cardinal t = M.cardinal m
+      && Bptree.to_list t = M.bindings m)
+
+(* --- Skip list --- *)
+
+let test_skiplist_append_find () =
+  let s = Skiplist.create () in
+  Alcotest.(check (option (pair int string))) "empty last" None (Skiplist.last s);
+  List.iter (fun i -> Skiplist.append s ~seq:i (Printf.sprintf "v%d" i)) [ 1; 3; 7; 10 ];
+  Alcotest.(check (option (pair int string))) "last" (Some (10, "v10")) (Skiplist.last s);
+  Alcotest.(check (option string)) "find exact" (Some "v3") (Skiplist.find s 3);
+  Alcotest.(check (option string)) "find missing" None (Skiplist.find s 4);
+  Alcotest.(check (option (pair int string))) "at_or_before 6" (Some (3, "v3"))
+    (Skiplist.find_at_or_before s 6);
+  Alcotest.(check (option (pair int string))) "at_or_before 0" None
+    (Skiplist.find_at_or_before s 0);
+  Alcotest.(check int) "length" 4 (Skiplist.length s)
+
+let test_skiplist_ordering_enforced () =
+  let s = Skiplist.create () in
+  Skiplist.append s ~seq:5 "a";
+  Alcotest.check_raises "non-increasing rejected"
+    (Invalid_argument "Skiplist.append: non-increasing seq") (fun () ->
+      Skiplist.append s ~seq:5 "b")
+
+let test_skiplist_last_n () =
+  let s = Skiplist.create () in
+  for i = 1 to 20 do
+    Skiplist.append s ~seq:i (string_of_int i)
+  done;
+  Alcotest.(check (list (pair int string))) "last 3"
+    [ (20, "20"); (19, "19"); (18, "18") ]
+    (Skiplist.last_n s 3);
+  Alcotest.(check int) "last_n capped" 20 (List.length (Skiplist.last_n s 100))
+
+let prop_skiplist_model =
+  QCheck.Test.make ~name:"skiplist agrees with sorted-assoc model" ~count:100
+    QCheck.(list small_nat)
+    (fun seqs ->
+      let seqs = List.sort_uniq compare (List.map (fun x -> x + 1) seqs) in
+      let s = Skiplist.create () in
+      List.iter (fun i -> Skiplist.append s ~seq:i (string_of_int i)) seqs;
+      Skiplist.to_list s = List.map (fun i -> (i, string_of_int i)) seqs
+      && List.for_all (fun i -> Skiplist.find s i = Some (string_of_int i)) seqs)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "storage"
+    [ ("node_store",
+       [ Alcotest.test_case "dedup" `Quick test_node_store_dedup;
+         Alcotest.test_case "work accounting" `Quick test_node_store_work_accounting ]);
+      ("wal", [ Alcotest.test_case "append and replay" `Quick test_wal_append_and_replay ]);
+      ("bptree",
+       [ Alcotest.test_case "basic" `Quick test_bptree_basic;
+         Alcotest.test_case "5k keys, splits, sorted" `Quick test_bptree_many_and_sorted;
+         Alcotest.test_case "range" `Quick test_bptree_range ]
+       @ qsuite [ prop_bptree_model ]);
+      ("skiplist",
+       [ Alcotest.test_case "append/find" `Quick test_skiplist_append_find;
+         Alcotest.test_case "ordering enforced" `Quick test_skiplist_ordering_enforced;
+         Alcotest.test_case "last_n" `Quick test_skiplist_last_n ]
+       @ qsuite [ prop_skiplist_model ]) ]

@@ -1,0 +1,281 @@
+open Glassdb_util
+
+let check_hex msg expected raw = Alcotest.(check string) msg expected (Hex.encode raw)
+
+(* --- SHA-256 --- *)
+
+let test_sha_vectors () =
+  check_hex "empty"
+    "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+    (Sha256.digest_string "");
+  check_hex "abc"
+    "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+    (Sha256.digest_string "abc");
+  check_hex "448-bit"
+    "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+    (Sha256.digest_string "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq");
+  check_hex "million a"
+    "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+    (Sha256.digest_string (String.make 1_000_000 'a'))
+
+let test_sha_padding_boundaries () =
+  (* Lengths around the 55/56/64-byte padding edges must match the one-shot
+     reference; compare against incremental feeding in odd chunk sizes. *)
+  List.iter
+    (fun n ->
+      let s = String.init n (fun i -> Char.chr (i land 0xff)) in
+      let t = Sha256.init () in
+      let rec feed pos chunk =
+        if pos < n then begin
+          let len = min chunk (n - pos) in
+          Sha256.feed_bytes t ~off:pos ~len (Bytes.of_string s);
+          feed (pos + len) (chunk + 3)
+        end
+      in
+      feed 0 1;
+      Alcotest.(check string)
+        (Printf.sprintf "len %d" n)
+        (Hex.encode (Sha256.digest_string s))
+        (Hex.encode (Sha256.finalize t)))
+    [ 0; 1; 54; 55; 56; 57; 63; 64; 65; 127; 128; 129; 1000 ]
+
+let test_hmac_vectors () =
+  (* RFC 4231 test cases 1 and 2. *)
+  check_hex "tc1"
+    "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+    (Sha256.hmac ~key:(String.make 20 '\x0b') "Hi There");
+  check_hex "tc2"
+    "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+    (Sha256.hmac ~key:"Jefe" "what do ya want for nothing?")
+
+let prop_incremental_matches_oneshot =
+  QCheck.Test.make ~name:"sha256 incremental = one-shot" ~count:200
+    QCheck.(pair string string)
+    (fun (a, b) ->
+      let t = Sha256.init () in
+      Sha256.feed_string t a;
+      Sha256.feed_string t b;
+      String.equal (Sha256.finalize t) (Sha256.digest_string (a ^ b)))
+
+(* --- Hex --- *)
+
+let prop_hex_roundtrip =
+  QCheck.Test.make ~name:"hex roundtrip" ~count:200 QCheck.string (fun s ->
+      String.equal (Hex.decode (Hex.encode s)) s)
+
+let test_hex_invalid () =
+  Alcotest.check_raises "odd length" (Invalid_argument "Hex.decode: odd length")
+    (fun () -> ignore (Hex.decode "abc"));
+  Alcotest.check_raises "bad char"
+    (Invalid_argument "Hex.decode: non-hex character") (fun () ->
+      ignore (Hex.decode "zz"))
+
+(* --- Hash --- *)
+
+let test_hash_domain_separation () =
+  let data = "same bytes" in
+  let all =
+    [ Hash.of_string data; Hash.leaf data; Hash.kv data "";
+      Hash.combine [ data ] ]
+  in
+  let distinct = List.sort_uniq String.compare all in
+  Alcotest.(check int) "all four tags give distinct digests" 4
+    (List.length distinct)
+
+let test_hash_kv_unambiguous () =
+  (* ("ab","c") must differ from ("a","bc"): the length prefix matters. *)
+  Alcotest.(check bool) "kv not concat-ambiguous" false
+    (Hash.equal (Hash.kv "ab" "c") (Hash.kv "a" "bc"))
+
+(* --- Codec --- *)
+
+let prop_varint_roundtrip =
+  QCheck.Test.make ~name:"varint roundtrip" ~count:500
+    QCheck.(map abs int)
+    (fun n ->
+      let s = Codec.to_string Codec.write_varint n in
+      Codec.of_string Codec.read_varint s = n)
+
+let prop_string_roundtrip =
+  QCheck.Test.make ~name:"string roundtrip" ~count:200 QCheck.string (fun s ->
+      Codec.of_string Codec.read_string (Codec.to_string Codec.write_string s)
+      = s)
+
+let prop_list_roundtrip =
+  QCheck.Test.make ~name:"list roundtrip" ~count:200
+    QCheck.(list small_string)
+    (fun l ->
+      let enc b = Codec.write_list b Codec.write_string in
+      let dec r = Codec.read_list r Codec.read_string in
+      Codec.of_string dec (Codec.to_string enc l) = l)
+
+let test_codec_malformed () =
+  let truncated () = ignore (Codec.of_string Codec.read_string "\x05ab") in
+  (match truncated () with
+   | exception Codec.Malformed _ -> ()
+   | () -> Alcotest.fail "expected Malformed on truncated string");
+  match Codec.of_string Codec.read_varint "\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff" with
+  | exception Codec.Malformed _ -> ()
+  | _ -> Alcotest.fail "expected Malformed on oversized varint"
+
+let test_codec_trailing () =
+  match Codec.of_string Codec.read_bool "\x01\x00" with
+  | exception Codec.Malformed _ -> ()
+  | _ -> Alcotest.fail "expected Malformed on trailing bytes"
+
+(* --- Rng --- *)
+
+let test_rng_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create 7 in
+  let c = Rng.split a in
+  Alcotest.(check bool) "split differs from parent" false
+    (Int64.equal (Rng.int64 a) (Rng.int64 c))
+
+let prop_int_below_in_range =
+  QCheck.Test.make ~name:"int_below in range" ~count:500
+    QCheck.(pair small_int (int_range 1 10_000))
+    (fun (seed, bound) ->
+      let rng = Rng.create seed in
+      let v = Rng.int_below rng bound in
+      v >= 0 && v < bound)
+
+let test_rng_float_range () =
+  let rng = Rng.create 9 in
+  for _ = 1 to 1000 do
+    let f = Rng.float rng in
+    if f < 0. || f >= 1. then Alcotest.fail "float out of range"
+  done
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create 3 in
+  let arr = Array.init 100 Fun.id in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 100 Fun.id) sorted
+
+(* --- Zipf --- *)
+
+let test_zipf_uniform_when_theta_zero () =
+  let rng = Rng.create 1 in
+  let z = Zipf.create ~n:10 ~theta:0. in
+  let counts = Array.make 10 0 in
+  for _ = 1 to 10_000 do
+    let v = Zipf.draw rng z in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iter
+    (fun c ->
+      if c < 800 || c > 1200 then
+        Alcotest.failf "uniform bucket out of tolerance: %d" c)
+    counts
+
+let test_zipf_skew () =
+  let rng = Rng.create 2 in
+  let z = Zipf.create ~n:1000 ~theta:0.99 in
+  let hot = ref 0 and total = 20_000 in
+  for _ = 1 to total do
+    if Zipf.draw rng z < 10 then incr hot
+  done;
+  (* With theta=0.99, the top-10 ranks carry a large share of the mass. *)
+  if !hot < total / 4 then
+    Alcotest.failf "zipf not skewed enough: hot=%d" !hot
+
+let prop_zipf_in_range =
+  QCheck.Test.make ~name:"zipf draws in range" ~count:200
+    QCheck.(pair small_int (int_range 1 500))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let z = Zipf.create ~n ~theta:0.9 in
+      let v = Zipf.draw rng z and s = Zipf.scrambled rng z in
+      v >= 0 && v < n && s >= 0 && s < n)
+
+(* --- Stats --- *)
+
+let test_stats_basic () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 5.; 1.; 3.; 2.; 4. ];
+  Alcotest.(check int) "count" 5 (Stats.count s);
+  Alcotest.(check (float 1e-9)) "mean" 3. (Stats.mean s);
+  Alcotest.(check (float 1e-9)) "min" 1. (Stats.min_value s);
+  Alcotest.(check (float 1e-9)) "max" 5. (Stats.max_value s);
+  Alcotest.(check (float 1e-9)) "median" 3. (Stats.percentile s 0.5);
+  Alcotest.(check (float 1e-9)) "p0" 1. (Stats.percentile s 0.);
+  Alcotest.(check (float 1e-9)) "p100" 5. (Stats.percentile s 1.)
+
+let test_stats_empty () =
+  let s = Stats.create () in
+  Alcotest.(check (float 0.)) "mean of empty" 0. (Stats.mean s);
+  Alcotest.(check (float 0.)) "percentile of empty" 0. (Stats.percentile s 0.9)
+
+let test_stats_merge () =
+  let a = Stats.create () and b = Stats.create () in
+  Stats.add a 1.;
+  Stats.add b 3.;
+  let m = Stats.merge a b in
+  Alcotest.(check int) "merged count" 2 (Stats.count m);
+  Alcotest.(check (float 1e-9)) "merged mean" 2. (Stats.mean m)
+
+let test_histogram () =
+  let h = Stats.histogram ~bucket_width:1.0 in
+  List.iter (Stats.hist_add h) [ 0.1; 0.2; 2.5 ];
+  match Stats.hist_buckets h with
+  | [ (0., 2); (1., 0); (2., 1) ] -> ()
+  | other ->
+    Alcotest.failf "unexpected buckets: %s"
+      (String.concat ";"
+         (List.map (fun (t, n) -> Printf.sprintf "(%.1f,%d)" t n) other))
+
+(* --- Work --- *)
+
+let test_work_measure () =
+  let (), c = Work.measure (fun () -> ignore (Hash.of_string "x")) in
+  Alcotest.(check int) "one hash measured" 1 c.Work.hashes;
+  let (), c2 =
+    Work.measure (fun () -> Work.note_node_write ~bytes:100)
+  in
+  Alcotest.(check int) "node write" 1 c2.Work.node_writes;
+  Alcotest.(check int) "bytes" 100 c2.Work.bytes_written
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "util"
+    [ ("sha256",
+       [ Alcotest.test_case "FIPS vectors" `Quick test_sha_vectors;
+         Alcotest.test_case "padding boundaries" `Quick test_sha_padding_boundaries;
+         Alcotest.test_case "hmac RFC4231" `Quick test_hmac_vectors ]
+       @ qsuite [ prop_incremental_matches_oneshot ]);
+      ("hex",
+       [ Alcotest.test_case "invalid input" `Quick test_hex_invalid ]
+       @ qsuite [ prop_hex_roundtrip ]);
+      ("hash",
+       [ Alcotest.test_case "domain separation" `Quick test_hash_domain_separation;
+         Alcotest.test_case "kv unambiguous" `Quick test_hash_kv_unambiguous ]);
+      ("codec",
+       [ Alcotest.test_case "malformed input" `Quick test_codec_malformed;
+         Alcotest.test_case "trailing bytes" `Quick test_codec_trailing ]
+       @ qsuite [ prop_varint_roundtrip; prop_string_roundtrip; prop_list_roundtrip ]);
+      ("rng",
+       [ Alcotest.test_case "determinism" `Quick test_rng_determinism;
+         Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+         Alcotest.test_case "float range" `Quick test_rng_float_range;
+         Alcotest.test_case "shuffle is a permutation" `Quick test_rng_shuffle_permutation ]
+       @ qsuite [ prop_int_below_in_range ]);
+      ("zipf",
+       [ Alcotest.test_case "uniform when theta=0" `Quick test_zipf_uniform_when_theta_zero;
+         Alcotest.test_case "skewed when theta=0.99" `Quick test_zipf_skew ]
+       @ qsuite [ prop_zipf_in_range ]);
+      ("stats",
+       [ Alcotest.test_case "basic accumulators" `Quick test_stats_basic;
+         Alcotest.test_case "empty" `Quick test_stats_empty;
+         Alcotest.test_case "merge" `Quick test_stats_merge;
+         Alcotest.test_case "histogram" `Quick test_histogram ]);
+      ("work",
+       [ Alcotest.test_case "measure" `Quick test_work_measure ]) ]
