@@ -94,7 +94,13 @@ let experiments : (string * string * (unit -> unit)) list =
     ("fig12b", "Workload-X per-op latency", Macro.fig12b);
     ("fig13", "Workload-X single node incl. Trillian", Macro.fig13);
     ("fig14", "auditing cost vs interval", Micro.fig14);
-    ("micro", "Bechamel data-structure micro-benchmarks", bechamel_micro) ]
+    ("micro", "Bechamel data-structure micro-benchmarks", bechamel_micro);
+    ("bench1",
+     "batched multiproofs vs independent proofs (writes BENCH_1.json)",
+     fun () ->
+       Bench1.run_and_write
+         ~quick:(!Common.profile == Common.quick)
+         ~path:"BENCH_1.json" ()) ]
 
 let run_suite quick names =
   if quick then Common.profile := Common.quick;

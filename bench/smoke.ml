@@ -1,0 +1,14 @@
+(* bench-smoke: a tiny bench1 run asserting the BENCH_1.json schema.
+
+   Wired into `dune runtest` via the bench-smoke alias, so the JSON shape
+   the full benchmark emits can never drift from what {!Bench1.validate}
+   (and any downstream plotting) expects. *)
+
+let () =
+  let text = Bench1.run ~quick:true () in
+  match Bench1.validate text with
+  | Ok () ->
+    print_endline "bench-smoke: BENCH_1.json schema OK"
+  | Error m ->
+    prerr_endline ("bench-smoke: schema check FAILED: " ^ m);
+    exit 1

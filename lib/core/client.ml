@@ -376,61 +376,69 @@ let flush_verifications t ?(force = false) () =
         let reply =
           Cluster.call t.cluster ~phase:("get-proof", List.length ps) ~shard
             ~req_bytes:(64 * List.length ps)
-            ~resp_bytes:(fun results ->
-              let proofs =
-                List.filter_map
-                  (function Some (p, _, _) -> Some p | None -> None)
-                  results
-              in
-              Ledger.batch_size_bytes proofs + 64)
+            ~resp_bytes:(fun (proofs, appendp, _) ->
+              List.fold_left
+                (fun a p -> a + Ledger.batch_proof_size_bytes p)
+                0 proofs
+              + Ledger.append_proof_size_bytes appendp + 64)
             (fun nd ->
-              List.map
-                (fun p -> Node.get_proof nd p.promise ~from)
-                ps)
+              Node.get_proofs nd (List.map (fun p -> p.promise) ps) ~from)
         in
         match reply with
         | None ->
           (* Node unreachable: requeue. *)
           t.pending <- ps @ t.pending;
           acc
-        | Some results ->
-          let ready = ref [] and not_ready = ref [] in
-          List.iter2
-            (fun p r ->
-              match r with
-              | Some ok -> ready := (p, ok) :: !ready
-              | None -> not_ready := p :: !not_ready)
-            ps results;
-          t.pending <- !not_ready @ t.pending;
-          if !ready = [] then acc
+        | Some (proofs, appendp, new_digest) ->
+          (* The server proves every persisted block at once; promises
+             beyond its digest are requeued for the next flush. *)
+          let ready, not_ready =
+            List.partition
+              (fun p -> p.promise.Node.pr_block <= new_digest.Ledger.block_no)
+              ps
+          in
+          t.pending <- not_ready @ t.pending;
+          if ready = [] then acc
           else begin
-            let proofs = List.map (fun (_, (pr, _, _)) -> pr) !ready in
-            let batch_bytes = Ledger.batch_size_bytes proofs in
+            let batch_bytes =
+              List.fold_left
+                (fun a p -> a + Ledger.batch_proof_size_bytes p)
+                0 proofs
+            in
             let ok, _ =
               Cost.charged_time Cost.default (fun () ->
-                  (* All proofs in one reply share the same server digest
-                     and append-only proof (from the digest we sent), so
-                     the digest advances once for the whole batch. *)
+                  (* One append-only check advances the digest for the whole
+                     reply; each block's batch proof is verified once —
+                     header, upper path and multiproof hashed a single time
+                     no matter how many promises resolve against it. *)
                   let append_ok =
-                    match !ready with
-                    | (_, (_, appendp, new_digest)) :: _ ->
-                      advance_digest t shard ~proof:appendp new_digest
-                    | [] -> true
+                    advance_digest t shard ~proof:appendp new_digest
                   in
-                  append_ok
+                  let by_block = Hashtbl.create 4 in
+                  let proofs_ok =
+                    List.for_all
+                      (fun bp ->
+                        Hashtbl.replace by_block bp.Ledger.bp_block bp;
+                        Ledger.verify_inclusion_batch ~digest:new_digest bp)
+                      proofs
+                  in
+                  append_ok && proofs_ok
                   && List.for_all
-                       (fun (p, (proof, _, new_digest)) ->
-                         Ledger.verify_inclusion ~digest:new_digest
-                           ~key:p.promise.Node.pr_key
-                           ~value:(Some p.promise.Node.pr_value) proof
-                         && proof.Ledger.p_block = p.promise.Node.pr_block)
-                       !ready)
+                       (fun p ->
+                         match
+                           Hashtbl.find_opt by_block p.promise.Node.pr_block
+                         with
+                         | None -> false
+                         | Some bp ->
+                           Ledger.batch_proof_value bp p.promise.Node.pr_key
+                           = Some (Some p.promise.Node.pr_value))
+                       ready)
             in
             if not ok then t.failures <- t.failures + 1;
             { v_ok = ok;
               v_proof_bytes = batch_bytes;
               v_latency = Sim.now () -. started;
-              v_keys = List.length !ready }
+              v_keys = List.length ready }
             :: acc
           end)
       by_shard []

@@ -3,9 +3,16 @@ module Kv = Txnkit.Kv
 module Pos_tree = Postree.Pos_tree
 module IMap = Map.Make (Int)
 
-type config = { store : Storage.Node_store.t; pattern_bits : int }
+type config = {
+  store : Storage.Node_store.t;
+  pattern_bits : int;
+  snapshot_retention : int;
+}
 
-let config ?(pattern_bits = 5) store = { store; pattern_bits }
+let config ?(pattern_bits = 5) ?(snapshot_retention = 8) store =
+  if snapshot_retention < 1 then
+    invalid_arg "Ledger.config: snapshot_retention";
+  { store; pattern_bits; snapshot_retention }
 
 type header = {
   block_no : int;
@@ -150,16 +157,41 @@ let append_block t ~time ~writes ~txns =
   let upper =
     Pos_tree.insert_batch t.upper [ (block_key block_no, header_bytes header) ]
   in
+  (* Snapshots share all unchanged chunks through the content-addressed
+     store, so each entry costs O(changed chunks) of *new* memory — but the
+     per-snapshot spines still add up, so only the most recent
+     [snapshot_retention] stay resident; older ones rebuild on demand from
+     the store (see {!state_at}). *)
+  let snapshots =
+    IMap.add block_no states t.snapshots
+    |> IMap.filter (fun b _ -> b > block_no - t.cfg.snapshot_retention)
+  in
   { t with
     upper;
     states;
-    snapshots = IMap.add block_no states t.snapshots;
+    snapshots;
     headers = IMap.add block_no header t.headers;
     bodies = IMap.add block_no (writes, txns) t.bodies;
     latest = block_no }
 
 let state_at t block =
-  if block = t.latest then Some t.states else IMap.find_opt block t.snapshots
+  if block = t.latest then Some t.states
+  else
+    match IMap.find_opt block t.snapshots with
+    | Some st -> Some st
+    | None ->
+      (* Evicted snapshot: the header pins its state root, and every chunk
+         is still in the content-addressed store — rebuild top-down, paying
+         the fetches as page reads / cache hits. *)
+      (match IMap.find_opt block t.headers with
+       | None -> None
+       | Some h ->
+         let pcfg =
+           Pos_tree.config ~pattern_bits:t.cfg.pattern_bits t.cfg.store
+         in
+         Pos_tree.load pcfg h.state_root)
+
+let resident_snapshots t = IMap.cardinal t.snapshots
 
 let get ?block t key =
   let block = Option.value ~default:t.latest block in
@@ -222,34 +254,44 @@ let decode_proof r =
 
 let proof_size_bytes p = String.length (Codec.to_string encode_proof p)
 
-let batch_size_bytes proofs =
-  (* Chunks shared between proofs (common tree paths, same header) ship
-     once.  Approximate the batched wire size as the deduplicated chunk
-     bytes plus a small per-proof frame. *)
+(* The batched wire encoding for a set of single-key proofs: the distinct
+   headers and chunks once, then per-proof frames referencing them by
+   index.  [batch_size_bytes] is the exact length of this encoding. *)
+let encode_proof_batch buf proofs =
   let seen = Hashtbl.create 64 in
-  let total = ref 0 in
-  let add_chunks proof_chunks =
-    List.iter
-      (fun s ->
-        if not (Hashtbl.mem seen s) then begin
-          Hashtbl.replace seen s ();
-          total := !total + String.length s + 4
-        end)
-      proof_chunks
+  let pool = ref [] and npool = ref 0 in
+  let intern s =
+    match Hashtbl.find_opt seen s with
+    | Some i -> i
+    | None ->
+      let i = !npool in
+      Hashtbl.replace seen s i;
+      pool := s :: !pool;
+      incr npool;
+      i
   in
-  let chunks_of_pos p =
-    Codec.of_string
-      (fun r -> Codec.read_list r Codec.read_string)
-      (Codec.to_string Pos_tree.encode_proof p)
+  let frames =
+    List.map
+      (fun p ->
+        ( p.p_block,
+          intern p.p_header,
+          List.map intern (Pos_tree.proof_chunks p.p_upper),
+          List.map intern (Pos_tree.proof_chunks p.p_lower),
+          p.p_payload ))
+      proofs
   in
-  List.iter
-    (fun p ->
-      add_chunks [ p.p_header ];
-      add_chunks (chunks_of_pos p.p_upper);
-      add_chunks (chunks_of_pos p.p_lower);
-      total := !total + 16)
-    proofs;
-  !total
+  Codec.write_list buf Codec.write_string (List.rev !pool);
+  Codec.write_list buf
+    (fun b (block, header, upper, lower, payload) ->
+      Codec.write_varint b block;
+      Codec.write_varint b header;
+      Codec.write_list b Codec.write_varint upper;
+      Codec.write_list b Codec.write_varint lower;
+      Codec.write_option b Codec.write_string payload)
+    frames
+
+let batch_size_bytes proofs =
+  String.length (Codec.to_string encode_proof_batch proofs)
 
 let prove_inclusion t key ~block =
   match (header_at t block, state_at t block) with
@@ -291,6 +333,89 @@ let verify_current ~digest ~key ~value p =
   p.p_block = digest.block_no
   && Hash.equal (Hash.of_string p.p_header) digest.head
   && verify_inclusion ~digest ~key ~value p
+
+(* --- batched inclusion proofs --- *)
+
+type batch_proof = {
+  bp_block : int;
+  bp_header : string;
+  bp_upper : Pos_tree.proof;
+  bp_lower : Pos_tree.multiproof;
+  bp_items : (Kv.key * string option) list;
+      (** certified (key, encoded payload or absent), one per requested key *)
+}
+
+let encode_batch_proof buf p =
+  Codec.write_varint buf p.bp_block;
+  Codec.write_string buf p.bp_header;
+  Pos_tree.encode_proof buf p.bp_upper;
+  Pos_tree.encode_multiproof buf p.bp_lower;
+  Codec.write_list buf
+    (fun b (k, v) ->
+      Codec.write_string b k;
+      Codec.write_option b Codec.write_string v)
+    p.bp_items
+
+let decode_batch_proof r =
+  let bp_block = Codec.read_varint r in
+  let bp_header = Codec.read_string r in
+  let bp_upper = Pos_tree.decode_proof r in
+  let bp_lower = Pos_tree.decode_multiproof r in
+  let bp_items =
+    Codec.read_list r (fun r' ->
+        let k = Codec.read_string r' in
+        let v = Codec.read_option r' Codec.read_string in
+        (k, v))
+  in
+  { bp_block; bp_header; bp_upper; bp_lower; bp_items }
+
+let batch_proof_size_bytes p =
+  String.length (Codec.to_string encode_batch_proof p)
+
+let prove_inclusion_batch t keys ~block =
+  match (header_at t block, state_at t block) with
+  | Some header, Some st ->
+    let lower, items = Pos_tree.prove_batch st keys in
+    { bp_block = block;
+      bp_header = header_bytes header;
+      bp_upper = Pos_tree.prove t.upper (block_key block);
+      bp_lower = lower;
+      bp_items = items }
+  | _ -> invalid_arg "Ledger.prove_inclusion_batch: no such block"
+
+(* Header and upper-tree inclusion are checked once for the whole batch;
+   the multiproof then certifies every (key, payload) pair against the
+   block's state root in one pass. *)
+let verify_inclusion_batch ~digest p =
+  match Codec.of_string decode_header p.bp_header with
+  | exception _ -> false
+  | header ->
+    header.block_no = p.bp_block
+    && p.bp_block <= digest.block_no
+    && Pos_tree.verify ~root:digest.root ~key:(block_key p.bp_block)
+         ~value:(Some p.bp_header) p.bp_upper
+    && Pos_tree.verify_batch ~root:header.state_root ~items:p.bp_items
+         p.bp_lower
+    && List.for_all
+         (fun (_, payload) ->
+           match payload with
+           | None -> true
+           | Some s ->
+             (match decode_payload s with
+              | _, version, _ -> version <= p.bp_block
+              | exception _ -> false))
+         p.bp_items
+
+(* The binding a verified batch proof certifies for [key]: [Some None] is
+   certified absence, [None] means the key was not part of the batch. *)
+let batch_proof_value p key =
+  match List.assoc_opt key p.bp_items with
+  | None -> None
+  | Some None -> Some None
+  | Some (Some payload) ->
+    (match decode_payload payload with
+     | value, _, _ -> Some (Some value)
+     | exception _ -> None)
 
 (* --- verifiable range scans --- *)
 

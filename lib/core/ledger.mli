@@ -18,9 +18,18 @@
 open Glassdb_util
 module Kv = Txnkit.Kv
 
-type config = { store : Storage.Node_store.t; pattern_bits : int }
+type config = {
+  store : Storage.Node_store.t;
+  pattern_bits : int;
+  snapshot_retention : int;
+      (** how many recent per-block snapshots stay resident; older blocks
+          are rebuilt on demand from the store via their header's state
+          root *)
+}
 
-val config : ?pattern_bits:int -> Storage.Node_store.t -> config
+val config :
+  ?pattern_bits:int -> ?snapshot_retention:int -> Storage.Node_store.t -> config
+(** Defaults: [pattern_bits] = 5, [snapshot_retention] = 8. *)
 
 type header = {
   block_no : int;
@@ -72,6 +81,9 @@ val header_at : t -> int -> header option
 val writes_of_block : t -> int -> block_write list
 val txns_of_block : t -> int -> Kv.signed_txn list
 
+val resident_snapshots : t -> int
+(** Snapshots currently held in memory (bounded by [snapshot_retention]). *)
+
 (* --- proofs --- *)
 
 type proof = {
@@ -102,6 +114,38 @@ val verify_current :
   digest:digest -> key:Kv.key -> value:Kv.value option -> proof -> bool
 (** Additionally requires the proof to come from the digest's own latest
     block — the freshness condition. *)
+
+(* --- batched inclusion proofs --- *)
+
+type batch_proof = {
+  bp_block : int;
+  bp_header : string;               (** serialized header *)
+  bp_upper : Postree.Pos_tree.proof;
+  bp_lower : Postree.Pos_tree.multiproof;
+  bp_items : (Kv.key * string option) list;
+      (** certified (key, encoded payload or absent) per requested key *)
+}
+(** One header, one upper-tree path, and one lower-tree multiproof cover a
+    whole key batch: chunks shared between the keys' search paths ship and
+    hash once.  This is what a shard returns for a deferred-verification
+    flush. *)
+
+val batch_proof_size_bytes : batch_proof -> int
+val encode_batch_proof : Buffer.t -> batch_proof -> unit
+val decode_batch_proof : Codec.reader -> batch_proof
+
+val prove_inclusion_batch : t -> Kv.key list -> block:int -> batch_proof
+(** Proof for all [keys] (deduplicated, order-insensitive) in one block.
+    Raises [Invalid_argument] when the block does not exist. *)
+
+val verify_inclusion_batch : digest:digest -> batch_proof -> bool
+(** Checks header and upper-tree inclusion once, then the multiproof for
+    every item, including payload version sanity. *)
+
+val batch_proof_value :
+  batch_proof -> Kv.key -> Kv.value option option
+(** What a verified proof certifies for [key]: [Some (Some v)] a binding,
+    [Some None] absence, [None] key not covered (or payload malformed). *)
 
 type append_proof
 

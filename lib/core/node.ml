@@ -354,6 +354,31 @@ let get_proof t promise ~from =
     Some (proof, appendp, Ledger.digest t.ledger)
   end
 
+let get_proofs t promises ~from =
+  (* Deferred-verification flush: group the persisted promises by block and
+     answer each group with ONE batch proof — a single header, upper-tree
+     path and lower-tree multiproof per block, however many keys the client
+     is resolving.  Promises for not-yet-persisted blocks are simply
+     omitted; the returned digest tells the client which those are. *)
+  let latest = Ledger.latest_block t.ledger in
+  let by_block = Hashtbl.create 4 in
+  List.iter
+    (fun p ->
+      if p.pr_block <= latest then
+        Hashtbl.replace by_block p.pr_block
+          (p.pr_key
+           :: Option.value ~default:[] (Hashtbl.find_opt by_block p.pr_block)))
+    promises;
+  let proofs =
+    Hashtbl.fold (fun b ks acc -> (b, ks) :: acc) by_block []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+    |> List.map (fun (b, ks) -> Ledger.prove_inclusion_batch t.ledger ks ~block:b)
+  in
+  let appendp =
+    Ledger.prove_append_only t.ledger ~old_block:from.Ledger.block_no
+  in
+  (proofs, appendp, Ledger.digest t.ledger)
+
 let prove_append_only t ~old_block = Ledger.prove_append_only t.ledger ~old_block
 
 (* --- audit support --- *)

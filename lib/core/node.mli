@@ -109,6 +109,14 @@ val get_proof :
 (** Deferred verification: [None] while the promised block is not yet
     persisted. *)
 
+val get_proofs :
+  t -> promise list -> from:Ledger.digest ->
+  Ledger.batch_proof list * Ledger.append_proof * Ledger.digest
+(** Batched deferred verification: the persisted promises grouped by block,
+    each group answered with one {!Ledger.batch_proof} (shared chunks ship
+    once).  Promises for unpersisted blocks are omitted — the returned
+    digest's [block_no] tells the client which to requeue. *)
+
 val prove_append_only : t -> old_block:int -> Ledger.append_proof
 
 (* --- audit support --- *)

@@ -59,3 +59,15 @@ let chunk_seq ~pattern_bits items =
     items;
   if !cur <> [] then chunks := Array.of_list (List.rev !cur) :: !chunks;
   List.rev !chunks
+
+let chunk_seq_array ~pattern_bits (items : item array) =
+  let n = Array.length items in
+  let out = ref [] and start = ref 0 in
+  for i = 0 to n - 1 do
+    if is_boundary ~pattern_bits items.(i) then begin
+      out := Array.sub items !start (i - !start + 1) :: !out;
+      start := i + 1
+    end
+  done;
+  if !start < n then out := Array.sub items !start (n - !start) :: !out;
+  List.rev !out

@@ -27,3 +27,7 @@ val is_boundary : pattern_bits:int -> item -> bool
 val chunk_seq : pattern_bits:int -> item list -> item array list
 (** Split a sequence into chunks, each ending at a boundary item except
     possibly the last.  Empty input gives no chunks. *)
+
+val chunk_seq_array : pattern_bits:int -> item array -> item array list
+(** Same splitting over an array, without intermediate lists: chunks are
+    [Array.sub] slices of the input. *)

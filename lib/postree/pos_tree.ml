@@ -69,7 +69,11 @@ let parse_chunk s =
 
 let mk_chunk cfg ~leaf items =
   let hash = chunk_hash ~leaf items in
-  Storage.Node_store.put cfg.store hash (serialize_chunk ~leaf items);
+  (* Identity fast path: a rebuilt chunk whose content hash is already in
+     the store is byte-identical to a persisted one — skip the
+     re-serialization and the store round-trip entirely. *)
+  if not (Storage.Node_store.mem cfg.store hash) then
+    Storage.Node_store.put cfg.store hash (serialize_chunk ~leaf items);
   { items; hash }
 
 let first_key c = Chunker.item_key c.items.(0)
@@ -109,66 +113,72 @@ let rec build_up ?(depth = 0) cfg acc chunks =
   if Array.length chunks <= 1 then List.rev (mk_level chunks :: acc)
   else begin
     let items =
-      Array.to_list chunks
-      |> List.map (fun c -> Chunker.item ~key:(first_key c) ~payload:c.hash)
+      Array.map (fun c -> Chunker.item ~key:(first_key c) ~payload:c.hash) chunks
     in
     let above =
-      Chunker.chunk_seq ~pattern_bits:cfg.pattern_bits items
+      Chunker.chunk_seq_array ~pattern_bits:cfg.pattern_bits items
       |> List.map (mk_chunk cfg ~leaf:false)
       |> Array.of_list
     in
     build_up ~depth:(depth + 1) cfg (mk_level chunks :: acc) above
   end
 
-let of_sorted_items cfg items count =
-  match items with
-  | [] -> empty cfg
-  | _ ->
+let of_sorted_items cfg (items : Chunker.item array) count =
+  if Array.length items = 0 then empty cfg
+  else begin
     let leaves =
-      Chunker.chunk_seq ~pattern_bits:cfg.pattern_bits items
+      Chunker.chunk_seq_array ~pattern_bits:cfg.pattern_bits items
       |> List.map (mk_chunk cfg ~leaf:true)
       |> Array.of_list
     in
     { cfg; levels = Array.of_list (build_up cfg [] leaves); count }
+  end
 
-(* --- lookup --- *)
+(* --- shared binary searches --- *)
+
+(* Smallest index in [0, n) for which the monotone predicate [ge] holds, or
+   [n] when it never does.  Every navigation step below is an instance. *)
+let lower_bound n ge =
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if ge mid then hi := mid else lo := mid + 1
+  done;
+  !lo
 
 (* Index of the chunk whose item range contains global position [pos]. *)
 let chunk_of_pos lv pos =
   let n = Array.length lv.chunks in
   if pos >= level_items lv then n - 1
-  else begin
-    let lo = ref 0 and hi = ref (n - 1) in
-    while !lo < !hi do
-      let mid = (!lo + !hi) / 2 in
-      if lv.offsets.(mid + 1) <= pos then lo := mid + 1 else hi := mid
-    done;
-    !lo
-  end
+  else lower_bound n (fun i -> lv.offsets.(i + 1) > pos)
 
 (* Within an index chunk, the child to descend into: the last item with
    ikey <= key, or item 0 when the key precedes everything. *)
 let route_index (items : Chunker.item array) key =
-  let lo = ref 0 and hi = ref (Array.length items - 1) in
-  while !lo < !hi do
-    let mid = (!lo + !hi + 1) / 2 in
-    if String.compare (Chunker.item_key items.(mid)) key <= 0 then lo := mid
-    else hi := mid - 1
-  done;
-  !lo
+  max 0
+    (lower_bound (Array.length items)
+       (fun i -> String.compare (Chunker.item_key items.(i)) key > 0)
+     - 1)
+
+(* Position of the first item with ikey >= key. *)
+let leaf_position (items : Chunker.item array) key =
+  lower_bound (Array.length items)
+    (fun i -> String.compare (Chunker.item_key items.(i)) key >= 0)
 
 (* Exact binary search in a leaf chunk. *)
 let find_leaf (items : Chunker.item array) key =
-  let lo = ref 0 and hi = ref (Array.length items) in
-  while !lo < !hi do
-    let mid = (!lo + !hi) / 2 in
-    if String.compare (Chunker.item_key items.(mid)) key < 0 then lo := mid + 1
-    else hi := mid
-  done;
-  if !lo < Array.length items
-     && String.equal (Chunker.item_key items.(!lo)) key
-  then Some (Chunker.item_payload items.(!lo))
+  let i = leaf_position items key in
+  if i < Array.length items && String.equal (Chunker.item_key items.(i)) key
+  then Some (Chunker.item_payload items.(i))
   else None
+
+(* Chunk whose key span contains [key]: the last chunk whose first key is
+   <= key, or chunk 0 when the key precedes everything. *)
+let chunk_of_key (chunks : chunk array) key =
+  max 0
+    (lower_bound (Array.length chunks)
+       (fun i -> String.compare (first_key chunks.(i)) key > 0)
+     - 1)
 
 let get t key =
   let top = Array.length t.levels - 1 in
@@ -207,30 +217,16 @@ let leaf_patches lv updates =
     List.map
       (fun (k, v) ->
         let item = Chunker.item ~key:k ~payload:v in
-        (* Locate the chunk by first key. *)
-        let n = Array.length lv.chunks in
-        let lo = ref 0 and hi = ref (n - 1) in
-        while !lo < !hi do
-          let mid = (!lo + !hi + 1) / 2 in
-          if String.compare (first_key lv.chunks.(mid)) k <= 0 then lo := mid
-          else hi := mid - 1
-        done;
-        let ci = !lo in
+        let ci = chunk_of_key lv.chunks k in
         let items = lv.chunks.(ci).items in
         let base = lv.offsets.(ci) in
-        let l = ref 0 and h = ref (Array.length items) in
-        while !l < !h do
-          let mid = (!l + !h) / 2 in
-          if String.compare (Chunker.item_key items.(mid)) k < 0 then
-            l := mid + 1
-          else h := mid
-        done;
-        if !l < Array.length items
-           && String.equal (Chunker.item_key items.(!l)) k
-        then { start = base + !l; stop = base + !l + 1; pitems = [ item ] }
+        let p = leaf_position items k in
+        if p < Array.length items
+           && String.equal (Chunker.item_key items.(p)) k
+        then { start = base + p; stop = base + p + 1; pitems = [ item ] }
         else begin
           incr inserted;
-          { start = base + !l; stop = base + !l; pitems = [ item ] }
+          { start = base + p; stop = base + p; pitems = [ item ] }
         end)
       updates
   in
@@ -261,24 +257,37 @@ let leaf_patches lv updates =
    [lo, hi); [base] is the global position of the first item. *)
 let splice_region lv ~lo ~hi patches =
   let base = lv.offsets.(lo) in
-  let items =
-    Array.concat
-      (List.init (hi - lo) (fun k -> lv.chunks.(lo + k).items))
+  let old =
+    Array.concat (List.init (hi - lo) (fun k -> lv.chunks.(lo + k).items))
   in
-  let buf = ref [] and pos = ref 0 in
-  List.iter
-    (fun p ->
-      let s = p.start - base and e = p.stop - base in
-      for i = !pos to s - 1 do
-        buf := items.(i) :: !buf
-      done;
-      List.iter (fun it -> buf := it :: !buf) p.pitems;
-      pos := e)
-    patches;
-  for i = !pos to Array.length items - 1 do
-    buf := items.(i) :: !buf
-  done;
-  List.rev !buf
+  let removed = List.fold_left (fun a p -> a + (p.stop - p.start)) 0 patches in
+  let added = List.fold_left (fun a p -> a + List.length p.pitems) 0 patches in
+  let len = Array.length old - removed + added in
+  if len = 0 then [||]
+  else begin
+    let out = Array.make len old.(0) in
+    let w = ref 0 and pos = ref 0 in
+    let copy_old upto =
+      let n = upto - !pos in
+      if n > 0 then begin
+        Array.blit old !pos out !w n;
+        w := !w + n;
+        pos := upto
+      end
+    in
+    List.iter
+      (fun p ->
+        copy_old (p.start - base);
+        List.iter
+          (fun it ->
+            out.(!w) <- it;
+            incr w)
+          p.pitems;
+        pos := p.stop - base)
+      patches;
+    copy_old (Array.length old);
+    out
+  end
 
 (* Rebuild one level given positional patches (sorted by start, disjoint);
    returns the new chunk array and the patches to apply one level up, in
@@ -332,7 +341,7 @@ let rebuild_level cfg ~leaf lv patches =
         let items =
           splice_region lv ~lo:start_ci ~hi:!j (List.rev !region_patches)
         in
-        let cs = Chunker.chunk_seq ~pattern_bits:cfg.pattern_bits items in
+        let cs = Chunker.chunk_seq_array ~pattern_bits:cfg.pattern_bits items in
         let ends_at_boundary =
           match List.rev cs with
           | [] -> true
@@ -377,7 +386,8 @@ let insert_batch t updates =
     in
     if is_empty t then
       of_sorted_items t.cfg
-        (List.map (fun (k, v) -> Chunker.item ~key:k ~payload:v) updates)
+        (Array.of_list
+           (List.map (fun (k, v) -> Chunker.item ~key:k ~payload:v) updates))
         (List.length updates)
     else begin
       let patches0, inserted = leaf_patches t.levels.(0) updates in
@@ -398,9 +408,11 @@ let insert_batch t updates =
           (* The old top split: grow new levels above it until a single
              chunk remains.  Because the old top was one chunk, the patches
              here cover the whole new level's items. *)
-          let items = List.concat_map (fun p -> p.pitems) patches in
+          let items =
+            Array.of_list (List.concat_map (fun p -> p.pitems) patches)
+          in
           let chunks =
-            Chunker.chunk_seq ~pattern_bits:t.cfg.pattern_bits items
+            Chunker.chunk_seq_array ~pattern_bits:t.cfg.pattern_bits items
             |> List.map (mk_chunk t.cfg ~leaf:false)
             |> Array.of_list
           in
@@ -411,12 +423,66 @@ let insert_batch t updates =
       { t with levels = Array.of_list levels; count = t.count + inserted }
     end
 
+(* --- loading a snapshot back from the store --- *)
+
+exception Load_failure
+
+(* Reconstruct the snapshot rooted at [root] from the backing store: fetch
+   the root chunk, then every child level by the hashes the index items
+   carry.  Fetches are charged through the store (page reads / cache hits),
+   which is exactly the cost of rebuilding an evicted snapshot. *)
+let load cfg root =
+  if Hash.equal root Hash.empty then Some (empty cfg)
+  else begin
+    let fetch h =
+      match Storage.Node_store.get cfg.store h with
+      | None -> raise Load_failure
+      | Some s ->
+        (match parse_chunk s with
+         | exception Codec.Malformed _ -> raise Load_failure
+         | _, [||] -> raise Load_failure
+         | leaf, items -> (leaf, { items; hash = h }))
+    in
+    match
+      let root_leaf, root_chunk = fetch root in
+      let rec down acc ~leaf chunks =
+        let lv = mk_level chunks in
+        if leaf then lv :: acc
+        else begin
+          let child_hashes =
+            Array.concat
+              (Array.to_list
+                 (Array.map
+                    (fun c -> Array.map Chunker.item_payload c.items)
+                    chunks))
+          in
+          let fetched = Array.map fetch child_hashes in
+          let child_leaf = fst fetched.(0) in
+          if not (Array.for_all (fun (l, _) -> l = child_leaf) fetched) then
+            raise Load_failure;
+          down (lv :: acc) ~leaf:child_leaf (Array.map snd fetched)
+        end
+      in
+      let levels = Array.of_list (down [] ~leaf:root_leaf [| root_chunk |]) in
+      let count =
+        Array.fold_left
+          (fun acc c -> acc + Array.length c.items)
+          0 levels.(0).chunks
+      in
+      { cfg; levels; count }
+    with
+    | t -> Some t
+    | exception Load_failure -> None
+  end
+
 (* --- proofs --- *)
 
 type proof = string list (* serialized chunks, root first *)
 
 let proof_size_bytes p =
   List.fold_left (fun acc s -> acc + String.length s + 4) 0 p
+
+let proof_chunks p = p
 
 let encode_proof buf p = Codec.write_list buf Codec.write_string p
 let decode_proof r = Codec.read_list r Codec.read_string
@@ -426,6 +492,7 @@ let prove t key =
   if top < 0 then []
   else begin
     let rec descend l ci acc =
+      Work.note_page_read ();
       let chunk = t.levels.(l).chunks.(ci) in
       let acc = serialize_chunk ~leaf:(l = 0) chunk.items :: acc in
       if l = 0 then acc
@@ -459,6 +526,95 @@ let verify ~root ~key ~value proof =
            end)
     in
     walk root proof
+
+(* --- batched multiproofs --- *)
+
+type multiproof = string list (* distinct serialized chunks, root first *)
+
+let multiproof_size_bytes p =
+  List.fold_left (fun acc s -> acc + String.length s + 4) 0 p
+
+let encode_multiproof buf p = Codec.write_list buf Codec.write_string p
+let decode_multiproof r = Codec.read_list r Codec.read_string
+
+(* One walk for the whole (sorted, deduplicated) key set: each chunk on any
+   covered root-to-leaf path is visited, charged and serialized exactly
+   once, no matter how many keys route through it. *)
+let prove_batch t keys =
+  let keys = List.sort_uniq String.compare keys in
+  if keys = [] then ([], [])
+  else if is_empty t then ([], List.map (fun k -> (k, None)) keys)
+  else begin
+    let seen = Hashtbl.create 32 in
+    let chunks = ref [] in
+    let bindings = ref [] in
+    let add ~leaf chunk =
+      if not (Hashtbl.mem seen chunk.hash) then begin
+        Hashtbl.replace seen chunk.hash ();
+        Work.note_page_read ();
+        chunks := serialize_chunk ~leaf chunk.items :: !chunks
+      end
+    in
+    let rec walk l ci ks =
+      let chunk = t.levels.(l).chunks.(ci) in
+      add ~leaf:(l = 0) chunk;
+      if l = 0 then
+        List.iter
+          (fun k -> bindings := (k, find_leaf chunk.items k) :: !bindings)
+          ks
+      else begin
+        (* Partition the sorted keys among children; route_index is
+           monotone, so grouping consecutive keys suffices. *)
+        let groups =
+          List.fold_left
+            (fun acc k ->
+              let idx = route_index chunk.items k in
+              match acc with
+              | (i, ks') :: rest when i = idx -> (i, k :: ks') :: rest
+              | _ -> (idx, [ k ]) :: acc)
+            [] ks
+          |> List.rev_map (fun (i, ks') -> (i, List.rev ks'))
+        in
+        List.iter
+          (fun (idx, sub) -> walk (l - 1) (t.levels.(l).offsets.(ci) + idx) sub)
+          groups
+      end
+    in
+    walk (Array.length t.levels - 1) 0 keys;
+    (List.rev !chunks, List.rev !bindings)
+  end
+
+let verify_batch ~root ~items proof =
+  if items = [] then proof = []
+  else
+    match proof with
+    | [] ->
+      Hash.equal root Hash.empty && List.for_all (fun (_, v) -> v = None) items
+    | _ ->
+      let by_hash = Hashtbl.create 32 in
+      let ok = ref true in
+      List.iter
+        (fun s ->
+          match parse_chunk s with
+          | exception Codec.Malformed _ -> ok := false
+          | _, [||] -> ok := false
+          | leaf, its -> Hashtbl.replace by_hash (chunk_hash ~leaf its) (leaf, its))
+        proof;
+      !ok
+      && List.for_all
+           (fun (key, value) ->
+             (* Re-walk the shared chunk set from the root for each key; a
+                dropped or tampered chunk breaks the hash chain. *)
+             let rec lookup expected =
+               match Hashtbl.find_opt by_hash expected with
+               | None -> None
+               | Some (true, its) -> Some (find_leaf its key)
+               | Some (false, its) ->
+                 let idx = route_index its key in
+                 lookup (Chunker.item_payload its.(idx))
+             in
+             lookup root = Some value)
+           items
 
 (* --- verifiable range queries --- *)
 
@@ -507,6 +663,7 @@ let prove_range t ~lo ~hi =
       let s = serialize_chunk ~leaf items in
       if not (Hashtbl.mem seen s) then begin
         Hashtbl.replace seen s ();
+        Work.note_page_read ();
         acc := s :: !acc
       end
     in

@@ -58,6 +58,42 @@ val verify : root:Hash.t -> key:string -> value:string option -> proof -> bool
 (** Check a proof against a trusted root digest: [Some v] asserts the
     binding, [None] asserts absence. *)
 
+val proof_chunks : proof -> string list
+(** The serialized chunks the proof carries, root first — exposed so a
+    caller merging several proofs can deduplicate shared chunks without
+    re-encoding. *)
+
+(* --- batched multiproofs --- *)
+
+type multiproof
+(** The distinct serialized chunks covering every root-to-leaf path of a
+    key batch.  Chunks shared between paths — the root always, and most
+    upper levels for clustered keys — appear exactly once, so a batch of k
+    keys costs far fewer bytes and hashes than k independent proofs. *)
+
+val multiproof_size_bytes : multiproof -> int
+val encode_multiproof : Buffer.t -> multiproof -> unit
+val decode_multiproof : Codec.reader -> multiproof
+
+val prove_batch : t -> string list -> multiproof * (string * string option) list
+(** One tree walk for the whole key set (deduplicated, sorted internally):
+    each covered chunk is visited, charged, and serialized exactly once.
+    Also returns the certified binding of every requested key, saving the
+    caller a second walk. *)
+
+val verify_batch :
+  root:Hash.t -> items:(string * string option) list -> multiproof -> bool
+(** Check every (key, value-or-absence) claim against a trusted root.  The
+    shared chunk set is parsed and hashed once; each key then re-walks it
+    from the root, so a dropped or tampered chunk fails every key routed
+    through it. *)
+
+val load : config -> Hash.t -> t option
+(** Reconstruct the snapshot rooted at the given hash from the backing
+    store (top-down; fetches are charged as page reads / cache hits).
+    [None] when any chunk is missing or malformed.  This is how an evicted
+    historical snapshot is rebuilt on demand. *)
+
 val stats_nodes : t -> int
 (** Total number of chunks across levels (for size accounting). *)
 

@@ -6,6 +6,7 @@ type t = {
   per_node_write : float;
   per_byte_write : float;
   per_page_read : float;
+  per_cache_hit : float;
 }
 
 let default =
@@ -13,12 +14,14 @@ let default =
     per_hash = 0.5e-6;
     per_node_write = 15e-6;
     per_byte_write = 20e-9;
-    per_page_read = 0.2e-6 }
+    per_page_read = 0.2e-6;
+    per_cache_hit = 0.02e-6 }
 
 let cpu_time t (c : Work.counters) =
   t.per_op
   +. (float_of_int c.Work.hashes *. t.per_hash)
   +. (float_of_int c.Work.page_reads *. t.per_page_read)
+  +. (float_of_int c.Work.cache_hits *. t.per_cache_hit)
 
 let io_time t (c : Work.counters) =
   (float_of_int c.Work.node_writes *. t.per_node_write)

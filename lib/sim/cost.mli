@@ -12,12 +12,13 @@ type t = {
   per_node_write : float;(** persisting one authenticated-structure node *)
   per_byte_write : float;(** additional cost per byte persisted *)
   per_page_read : float; (** one page / node fetch *)
+  per_cache_hit : float; (** one fetch served by the decoded-chunk cache *)
 }
 
 val default : t
 (** Calibrated to commodity-server magnitudes: 5 us dispatch, 0.5 us per
     hash, 15 us per node write (amortized SSD), 20 ns/byte, 0.2 us per
-    cached page read. *)
+    cached page read, 20 ns per decoded-chunk cache hit. *)
 
 val time_of : t -> Glassdb_util.Work.counters -> float
 

@@ -1,23 +1,100 @@
 open Glassdb_util
 
+(* Doubly-linked LRU over the decoded-chunk cache.  The backing table is the
+   simulated disk; the LRU models the server's in-memory decoded-node cache,
+   so repeated fetches of hot chunks are charged as cheap cache hits rather
+   than page reads. *)
+type lru_node = {
+  lkey : Hash.t;
+  mutable prev : lru_node option;
+  mutable next : lru_node option;
+}
+
 type t = {
   table : (Hash.t, string) Hashtbl.t;
   mutable bytes : int;
+  cache : (Hash.t, lru_node) Hashtbl.t;
+  cache_capacity : int;
+  mutable lru_head : lru_node option; (* most recent *)
+  mutable lru_tail : lru_node option; (* eviction candidate *)
+  mutable hits : int;
+  mutable misses : int;
 }
 
-let create () = { table = Hashtbl.create 1024; bytes = 0 }
+let create ?(cache_capacity = 512) () =
+  { table = Hashtbl.create 1024;
+    bytes = 0;
+    cache = Hashtbl.create (max 16 cache_capacity);
+    cache_capacity = max 0 cache_capacity;
+    lru_head = None;
+    lru_tail = None;
+    hits = 0;
+    misses = 0 }
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.lru_head <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.lru_tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.lru_head;
+  n.prev <- None;
+  (match t.lru_head with Some h -> h.prev <- Some n | None -> t.lru_tail <- Some n);
+  t.lru_head <- Some n
+
+let cache_insert t h =
+  if t.cache_capacity > 0 && not (Hashtbl.mem t.cache h) then begin
+    if Hashtbl.length t.cache >= t.cache_capacity then begin
+      match t.lru_tail with
+      | Some victim ->
+        unlink t victim;
+        Hashtbl.remove t.cache victim.lkey
+      | None -> ()
+    end;
+    let n = { lkey = h; prev = None; next = None } in
+    push_front t n;
+    Hashtbl.replace t.cache h n
+  end
+
+let cache_touch t n =
+  if t.lru_head != Some n then begin
+    unlink t n;
+    push_front t n
+  end
 
 let put t h data =
   if not (Hashtbl.mem t.table h) then begin
     Hashtbl.replace t.table h data;
     t.bytes <- t.bytes + String.length data + Hash.size;
-    Work.note_node_write ~bytes:(String.length data + Hash.size)
+    Work.note_node_write ~bytes:(String.length data + Hash.size);
+    (* A freshly written node is hot: it joins the decoded cache. *)
+    cache_insert t h
   end
 
 let get t h =
-  Work.note_page_read ();
-  Hashtbl.find_opt t.table h
+  match Hashtbl.find_opt t.cache h with
+  | Some n ->
+    (* Decoded-chunk cache hit: no page fetched. *)
+    t.hits <- t.hits + 1;
+    cache_touch t n;
+    Work.note_cache_hit ();
+    Hashtbl.find_opt t.table h
+  | None ->
+    t.misses <- t.misses + 1;
+    (match Hashtbl.find_opt t.table h with
+     | Some data ->
+       (* Only a fetch that actually returns a node costs a page read; an
+          absent key is answered by the (in-memory) index alone. *)
+       Work.note_page_read ();
+       cache_insert t h;
+       Some data
+     | None -> None)
 
 let mem t h = Hashtbl.mem t.table h
 let node_count t = Hashtbl.length t.table
 let total_bytes t = t.bytes
+let cache_hits t = t.hits
+let cache_misses t = t.misses
+let cache_capacity t = t.cache_capacity
+let cached_nodes t = Hashtbl.length t.cache

@@ -3,21 +3,26 @@ type counters = {
   node_writes : int;
   bytes_written : int;
   page_reads : int;
+  cache_hits : int;
 }
 
-let zero = { hashes = 0; node_writes = 0; bytes_written = 0; page_reads = 0 }
+let zero =
+  { hashes = 0; node_writes = 0; bytes_written = 0; page_reads = 0;
+    cache_hits = 0 }
 
 let add a b =
   { hashes = a.hashes + b.hashes;
     node_writes = a.node_writes + b.node_writes;
     bytes_written = a.bytes_written + b.bytes_written;
-    page_reads = a.page_reads + b.page_reads }
+    page_reads = a.page_reads + b.page_reads;
+    cache_hits = a.cache_hits + b.cache_hits }
 
 let sub a b =
   { hashes = a.hashes - b.hashes;
     node_writes = a.node_writes - b.node_writes;
     bytes_written = a.bytes_written - b.bytes_written;
-    page_reads = a.page_reads - b.page_reads }
+    page_reads = a.page_reads - b.page_reads;
+    cache_hits = a.cache_hits - b.cache_hits }
 
 let state = ref zero
 
@@ -31,6 +36,9 @@ let note_node_write ~bytes =
 
 let note_page_read ?(n = 1) () =
   state := { !state with page_reads = !state.page_reads + n }
+
+let note_cache_hit ?(n = 1) () =
+  state := { !state with cache_hits = !state.cache_hits + n }
 
 let snapshot () = !state
 let reset () = state := zero

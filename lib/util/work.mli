@@ -12,6 +12,7 @@ type counters = {
   node_writes : int;   (** authenticated-structure nodes persisted *)
   bytes_written : int; (** bytes of those nodes *)
   page_reads : int;    (** backend page / node fetches *)
+  cache_hits : int;    (** node fetches served from a decoded-chunk cache *)
 }
 
 val zero : counters
@@ -22,6 +23,7 @@ val sub : counters -> counters -> counters
 val note_hash : ?n:int -> unit -> unit
 val note_node_write : bytes:int -> unit
 val note_page_read : ?n:int -> unit -> unit
+val note_cache_hit : ?n:int -> unit -> unit
 
 val snapshot : unit -> counters
 val reset : unit -> unit

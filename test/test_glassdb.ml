@@ -81,6 +81,123 @@ let test_ledger_inclusion_and_current_proofs () =
   Alcotest.(check bool) "absence proof" true
     (Ledger.verify_current ~digest:d ~key:"missing" ~value:None pa)
 
+let test_ledger_batch_proof_acceptance () =
+  (* The PR's headline claim: a 64-key batch proof in one block is strictly
+     cheaper than 64 independent proofs — fewer page reads to build, fewer
+     hashes to check, fewer bytes on the wire. *)
+  let l = ref (mk_ledger ()) in
+  let writes =
+    List.init 2000 (fun i -> w (Printf.sprintf "key-%04d" i) (Printf.sprintf "v%d" i) "t")
+  in
+  l := Ledger.append_block !l ~time:0. ~writes ~txns:[];
+  let d = Ledger.digest !l in
+  let keys = List.init 64 (fun i -> Printf.sprintf "key-%04d" (i * 31)) in
+  let bp, cb =
+    Glassdb_util.Work.measure (fun () ->
+        Ledger.prove_inclusion_batch !l keys ~block:0)
+  in
+  let proofs, ci =
+    Glassdb_util.Work.measure (fun () ->
+        List.map (fun k -> Ledger.prove_inclusion !l k ~block:0) keys)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "batched prove reads fewer pages (%d < %d)"
+       cb.Glassdb_util.Work.page_reads ci.Glassdb_util.Work.page_reads)
+    true
+    (cb.Glassdb_util.Work.page_reads < ci.Glassdb_util.Work.page_reads);
+  let okb, vb =
+    Glassdb_util.Work.measure (fun () ->
+        Ledger.verify_inclusion_batch ~digest:d bp)
+  in
+  let oki, vi =
+    Glassdb_util.Work.measure (fun () ->
+        List.for_all2
+          (fun k p ->
+            let value = Option.map (fun (v, _, _) -> v) (Ledger.get !l k) in
+            Ledger.verify_inclusion ~digest:d ~key:k ~value p)
+          keys proofs)
+  in
+  Alcotest.(check bool) "both verify" true (okb && oki);
+  Alcotest.(check bool)
+    (Printf.sprintf "batched verify hashes less (%d < %d)"
+       vb.Glassdb_util.Work.hashes vi.Glassdb_util.Work.hashes)
+    true
+    (vb.Glassdb_util.Work.hashes < vi.Glassdb_util.Work.hashes);
+  let batch_bytes = Ledger.batch_proof_size_bytes bp in
+  let indep_bytes =
+    List.fold_left (fun a p -> a + Ledger.proof_size_bytes p) 0 proofs
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "batched proof strictly smaller (%d < %d)" batch_bytes
+       indep_bytes)
+    true
+    (batch_bytes < indep_bytes);
+  (* And the legacy batched wire encoding also dedups. *)
+  Alcotest.(check bool) "merged legacy encoding dedups" true
+    (Ledger.batch_size_bytes proofs < indep_bytes);
+  (* Every key resolves to its value through the batch proof. *)
+  List.iter
+    (fun k ->
+      let expected = Option.map (fun (v, _, _) -> v) (Ledger.get !l k) in
+      Alcotest.(check bool) k true
+        (Ledger.batch_proof_value bp k = Some expected))
+    keys;
+  (* Adversarial: a proof re-labelled to another block is rejected. *)
+  l := Ledger.append_block !l ~time:1. ~writes:[ w "key-0000" "new" "t" ] ~txns:[];
+  let d2 = Ledger.digest !l in
+  Alcotest.(check bool) "wrong block rejected" false
+    (Ledger.verify_inclusion_batch ~digest:d2 { bp with Ledger.bp_block = 1 });
+  (* Tampered payload inside the item list is rejected by the multiproof. *)
+  let tampered =
+    { bp with
+      Ledger.bp_items =
+        List.map
+          (fun (k, v) ->
+            if k = "key-0031" then
+              (k, Some (Ledger.encode_payload ~value:"evil" ~version:0 ~prev:(-1)))
+            else (k, v))
+          bp.Ledger.bp_items }
+  in
+  Alcotest.(check bool) "tampered payload rejected" false
+    (Ledger.verify_inclusion_batch ~digest:d tampered);
+  (* Codec roundtrip. *)
+  let bp' =
+    Glassdb_util.Codec.of_string Ledger.decode_batch_proof
+      (Glassdb_util.Codec.to_string Ledger.encode_batch_proof bp)
+  in
+  Alcotest.(check bool) "codec roundtrip verifies" true
+    (Ledger.verify_inclusion_batch ~digest:d bp')
+
+let test_ledger_snapshot_retention () =
+  let store = Storage.Node_store.create () in
+  let l =
+    ref (Ledger.create (Ledger.config ~snapshot_retention:4 store))
+  in
+  for b = 0 to 19 do
+    l := Ledger.append_block !l ~time:(float_of_int b)
+        ~writes:[ w (Printf.sprintf "k%d" (b mod 7)) (Printf.sprintf "v%d" b) "t" ]
+        ~txns:[]
+  done;
+  Alcotest.(check int) "resident snapshots bounded" 4 (Ledger.resident_snapshots !l);
+  (* Historical reads beyond the retention window rebuild from the store. *)
+  (match Ledger.get ~block:2 !l "k2" with
+   | Some ("v2", 2, _) -> ()
+   | _ -> Alcotest.fail "historical read through rebuilt snapshot");
+  (* Proofs against evicted blocks still verify. *)
+  let d = Ledger.digest !l in
+  let p = Ledger.prove_inclusion !l "k2" ~block:2 in
+  Alcotest.(check bool) "proof from evicted block" true
+    (Ledger.verify_inclusion ~digest:d ~key:"k2" ~value:(Some "v2") p);
+  let bp = Ledger.prove_inclusion_batch !l [ "k0"; "k1"; "k2" ] ~block:2 in
+  Alcotest.(check bool) "batch proof from evicted block" true
+    (Ledger.verify_inclusion_batch ~digest:d bp);
+  (* The rebuilt snapshot is charged: page reads or cache hits occur. *)
+  let (), c =
+    Glassdb_util.Work.measure (fun () -> ignore (Ledger.get ~block:5 !l "k5"))
+  in
+  Alcotest.(check bool) "rebuild is charged" true
+    (c.Glassdb_util.Work.page_reads + c.Glassdb_util.Work.cache_hits > 0)
+
 let test_ledger_append_only_proofs () =
   let l = ref (mk_ledger ()) in
   let digests = ref [] in
@@ -378,6 +495,8 @@ let () =
          Alcotest.test_case "history walk" `Quick test_ledger_history;
          Alcotest.test_case "duplicate key rejected" `Quick test_ledger_duplicate_key_in_block_rejected;
          Alcotest.test_case "inclusion + current proofs" `Quick test_ledger_inclusion_and_current_proofs;
+         Alcotest.test_case "64-key batch proof beats 64 singles" `Quick test_ledger_batch_proof_acceptance;
+         Alcotest.test_case "snapshot retention + rebuild" `Quick test_ledger_snapshot_retention;
          Alcotest.test_case "append-only proofs" `Quick test_ledger_append_only_proofs;
          Alcotest.test_case "fork detection" `Quick test_ledger_append_only_detects_fork ]);
       ("transactions",

@@ -256,6 +256,210 @@ let prop_proofs_verify =
         (fun k v -> Pos_tree.verify ~root ~key:k ~value:(Some v) (Pos_tree.prove t k))
         m)
 
+(* --- batched multiproofs --- *)
+
+let strings_of_multiproof mp =
+  Codec.of_string
+    (fun r -> Codec.read_list r Codec.read_string)
+    (Codec.to_string Pos_tree.encode_multiproof mp)
+
+let multiproof_of_strings l =
+  (* Forge a multiproof through the public codec, as a malicious server
+     would. *)
+  Codec.of_string Pos_tree.decode_multiproof
+    (Codec.to_string (fun b -> Codec.write_list b Codec.write_string) l)
+
+let test_multiproof_roundtrip () =
+  let _, cfg = mk () in
+  let kvs = kvs_of 600 in
+  let t = Pos_tree.insert_batch (Pos_tree.empty cfg) kvs in
+  let root = Pos_tree.root_hash t in
+  let keys =
+    List.init 40 (fun i -> Printf.sprintf "key-%05d" (i * 13))
+    @ [ "absent-key"; "zzz" ]
+  in
+  let mp, items = Pos_tree.prove_batch t keys in
+  Alcotest.(check int) "one item per distinct key"
+    (List.length (List.sort_uniq compare keys))
+    (List.length items);
+  List.iter
+    (fun (k, v) ->
+      Alcotest.(check (option string)) k (List.assoc_opt k kvs) v)
+    items;
+  Alcotest.(check bool) "verifies" true (Pos_tree.verify_batch ~root ~items mp);
+  let mp' =
+    Codec.of_string Pos_tree.decode_multiproof
+      (Codec.to_string Pos_tree.encode_multiproof mp)
+  in
+  Alcotest.(check bool) "verifies after codec roundtrip" true
+    (Pos_tree.verify_batch ~root ~items mp');
+  Alcotest.(check bool) "size positive" true
+    (Pos_tree.multiproof_size_bytes mp > 0)
+
+let test_multiproof_adversarial () =
+  let _, cfg = mk () in
+  let kvs = kvs_of 400 in
+  let t = Pos_tree.insert_batch (Pos_tree.empty cfg) kvs in
+  let root = Pos_tree.root_hash t in
+  let keys = [ "key-00007"; "key-00123"; "key-00321"; "nope" ] in
+  let mp, items = Pos_tree.prove_batch t keys in
+  Alcotest.(check bool) "honest proof verifies" true
+    (Pos_tree.verify_batch ~root ~items mp);
+  (* Tampered value claim. *)
+  let tamper k v' =
+    List.map (fun (k', v) -> if k' = k then (k', v') else (k', v)) items
+  in
+  Alcotest.(check bool) "tampered value rejected" false
+    (Pos_tree.verify_batch ~root ~items:(tamper "key-00123" (Some "evil")) mp);
+  Alcotest.(check bool) "fake absence rejected" false
+    (Pos_tree.verify_batch ~root ~items:(tamper "key-00007" None) mp);
+  Alcotest.(check bool) "fake presence rejected" false
+    (Pos_tree.verify_batch ~root ~items:(tamper "nope" (Some "ghost")) mp);
+  (* Dropped chunk: removing any chunk breaks the hash chain for the keys
+     routed through it. *)
+  let chunks = strings_of_multiproof mp in
+  let dropped_last =
+    multiproof_of_strings (List.filteri (fun i _ -> i < List.length chunks - 1) chunks)
+  in
+  Alcotest.(check bool) "dropped chunk rejected" false
+    (Pos_tree.verify_batch ~root ~items dropped_last);
+  (* Tampered sibling: flip a byte inside one serialized chunk. *)
+  let corrupt s =
+    let b = Bytes.of_string s in
+    Bytes.set b (Bytes.length b / 2)
+      (Char.chr (Char.code (Bytes.get b (Bytes.length b / 2)) lxor 1));
+    Bytes.to_string b
+  in
+  let tampered_chunk =
+    multiproof_of_strings
+      (List.mapi (fun i s -> if i = List.length chunks - 1 then corrupt s else s) chunks)
+  in
+  Alcotest.(check bool) "tampered chunk rejected" false
+    (Pos_tree.verify_batch ~root ~items tampered_chunk);
+  (* Wrong root. *)
+  Alcotest.(check bool) "wrong root rejected" false
+    (Pos_tree.verify_batch ~root:(Hash.of_string "bogus") ~items mp);
+  (* Empty-tree conventions. *)
+  let t0 = Pos_tree.empty cfg in
+  let mp0, items0 = Pos_tree.prove_batch t0 [ "a"; "b" ] in
+  Alcotest.(check bool) "empty tree: absences verify" true
+    (Pos_tree.verify_batch ~root:Hash.empty ~items:items0 mp0);
+  Alcotest.(check bool) "empty proof vs non-empty tree rejected" false
+    (Pos_tree.verify_batch ~root ~items (multiproof_of_strings []))
+
+let test_multiproof_cheaper_than_independent () =
+  let _, cfg = mk () in
+  let t = Pos_tree.insert_batch (Pos_tree.empty cfg) (kvs_of 2000) in
+  let root = Pos_tree.root_hash t in
+  let keys = List.init 64 (fun i -> Printf.sprintf "key-%05d" (i * 31)) in
+  (* Prove: one walk, each shared chunk charged once. *)
+  let (mp, items), cb = Work.measure (fun () -> Pos_tree.prove_batch t keys) in
+  let proofs, ci =
+    Work.measure (fun () -> List.map (fun k -> Pos_tree.prove t k) keys)
+  in
+  Alcotest.(check bool) "batched walk reads fewer pages" true
+    (cb.Work.page_reads < ci.Work.page_reads);
+  (* Verify: each distinct chunk hashed once vs once per proof. *)
+  let ok_b, vb =
+    Work.measure (fun () -> Pos_tree.verify_batch ~root ~items mp)
+  in
+  let ok_i, vi =
+    Work.measure (fun () ->
+        List.for_all2
+          (fun k p ->
+            Pos_tree.verify ~root ~key:k ~value:(Pos_tree.get t k) p)
+          keys proofs)
+  in
+  Alcotest.(check bool) "both verify" true (ok_b && ok_i);
+  Alcotest.(check bool) "batched verify hashes less" true
+    (vb.Work.hashes < vi.Work.hashes);
+  (* Bytes: the deduplicated chunk set is strictly smaller on the wire. *)
+  let independent_bytes =
+    List.fold_left (fun a p -> a + Pos_tree.proof_size_bytes p) 0 proofs
+  in
+  Alcotest.(check bool) "batched proof strictly smaller" true
+    (Pos_tree.multiproof_size_bytes mp < independent_bytes)
+
+let prop_multiproof_model =
+  QCheck.Test.make ~name:"multiproofs verify for random maps and key sets"
+    ~count:40
+    QCheck.(pair
+              (list_of_size (Gen.int_range 1 100)
+                 (pair (string_of_size (Gen.int_range 1 6)) small_string))
+              (list_of_size (Gen.int_range 1 20)
+                 (string_of_size (Gen.int_range 1 6))))
+    (fun (kvs, keys) ->
+      let _, cfg = mk () in
+      let t = Pos_tree.insert_batch (Pos_tree.empty cfg) kvs in
+      let root = Pos_tree.root_hash t in
+      let mp, items = Pos_tree.prove_batch t keys in
+      let module M = Map.Make (String) in
+      let m = List.fold_left (fun m (k, v) -> M.add k v m) M.empty kvs in
+      Pos_tree.verify_batch ~root ~items mp
+      && List.for_all (fun (k, v) -> M.find_opt k m = v) items
+      && List.length items = List.length (List.sort_uniq compare keys))
+
+(* --- incremental update = fresh build, and write amplification --- *)
+
+let prop_update_equals_fresh_build =
+  QCheck.Test.make
+    ~name:"incremental update root = fresh build on merged set" ~count:40
+    QCheck.(pair
+              (list (pair (string_of_size (Gen.int_range 1 5)) small_string))
+              (list (pair (string_of_size (Gen.int_range 1 5)) small_string)))
+    (fun (base, upd) ->
+      let _, cfg = mk () in
+      let t = Pos_tree.insert_batch (Pos_tree.empty cfg) base in
+      let t2 = Pos_tree.insert_batch t upd in
+      let module M = Map.Make (String) in
+      let m =
+        List.fold_left (fun m (k, v) -> M.add k v m) M.empty (base @ upd)
+      in
+      let _, cfg2 = mk () in
+      let fresh = Pos_tree.insert_batch (Pos_tree.empty cfg2) (M.bindings m) in
+      Hash.equal (Pos_tree.root_hash t2) (Pos_tree.root_hash fresh)
+      && Pos_tree.cardinal t2 = M.cardinal m)
+
+let test_large_update_writes_only_changed_paths () =
+  let _, cfg = mk ~pattern_bits:5 () in
+  let base =
+    List.init 100_000 (fun i -> (Printf.sprintf "key-%06d" i, Printf.sprintf "v%d" i))
+  in
+  let t, cbuild =
+    Work.measure (fun () -> Pos_tree.insert_batch (Pos_tree.empty cfg) base)
+  in
+  let updates =
+    List.init 100 (fun i -> (Printf.sprintf "key-%06d" (i * 997), "updated"))
+  in
+  let t2, cupd = Work.measure (fun () -> Pos_tree.insert_batch t updates) in
+  (* 100 touched keys re-serialize only their leaf chunks plus ancestor
+     paths — a tiny fraction of the ~3k-chunk tree the build wrote. *)
+  Alcotest.(check bool) "update writes some nodes" true (cupd.Work.node_writes > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "O(changed-path) writes: %d update vs %d build"
+       cupd.Work.node_writes cbuild.Work.node_writes)
+    true
+    (cupd.Work.node_writes * 10 < cbuild.Work.node_writes);
+  Alcotest.(check (option string)) "update applied" (Some "updated")
+    (Pos_tree.get t2 "key-000000")
+
+(* --- snapshot reload --- *)
+
+let test_load_reconstructs_snapshot () =
+  let store, cfg = mk () in
+  let t = Pos_tree.insert_batch (Pos_tree.empty cfg) (kvs_of 800) in
+  let root = Pos_tree.root_hash t in
+  match Pos_tree.load cfg root with
+  | None -> Alcotest.fail "load failed"
+  | Some t' ->
+    Alcotest.(check bool) "same root" true (Hash.equal root (Pos_tree.root_hash t'));
+    Alcotest.(check int) "same cardinal" (Pos_tree.cardinal t) (Pos_tree.cardinal t');
+    Alcotest.(check (option string)) "lookup works" (Some "val-123")
+      (Pos_tree.get t' "key-00123");
+    Alcotest.(check bool) "unknown root" true
+      (Pos_tree.load cfg (Hash.of_string "nope") = None);
+    ignore store
+
 (* --- verifiable range queries --- *)
 
 let test_range_queries () =
@@ -336,6 +540,19 @@ let () =
       ("sharing",
        [ Alcotest.test_case "single update writes a path" `Quick test_snapshots_share_nodes;
          Alcotest.test_case "identical content dedups" `Quick test_identical_content_dedups_fully ]);
+      ("multiproof",
+       [ Alcotest.test_case "roundtrip" `Quick test_multiproof_roundtrip;
+         Alcotest.test_case "adversarial" `Quick test_multiproof_adversarial;
+         Alcotest.test_case "cheaper than independent proofs" `Quick
+           test_multiproof_cheaper_than_independent ]
+       @ qsuite [ prop_multiproof_model ]);
+      ("updates",
+       [ Alcotest.test_case "100k-key tree, 100 updates, O(changed-path) writes"
+           `Quick test_large_update_writes_only_changed_paths ]
+       @ qsuite [ prop_update_equals_fresh_build ]);
+      ("load",
+       [ Alcotest.test_case "reload snapshot from store" `Quick
+           test_load_reconstructs_snapshot ]);
       ("range",
        [ Alcotest.test_case "range queries + proofs" `Quick test_range_queries ]
        @ qsuite [ prop_range_model ]);

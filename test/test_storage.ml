@@ -24,8 +24,40 @@ let test_node_store_work_accounting () =
   in
   Alcotest.(check int) "one node write" 1 c.Work.node_writes;
   Alcotest.(check int) "bytes = payload + hash" (10 + Hash.size) c.Work.bytes_written;
+  (* An absent key never touches a page. *)
   let (), c2 = Work.measure (fun () -> ignore (Node_store.get s Hash.empty)) in
-  Alcotest.(check int) "one page read" 1 c2.Work.page_reads
+  Alcotest.(check int) "miss: no page read" 0 c2.Work.page_reads;
+  Alcotest.(check int) "miss: no cache hit" 0 c2.Work.cache_hits
+
+let test_node_store_cache_accounting () =
+  (* Capacity-2 LRU: hits are charged as cache hits, evicted nodes cost a
+     page read again, absent keys are never charged. *)
+  let s = Node_store.create ~cache_capacity:2 () in
+  let h1 = Hash.of_string "n1" and h2 = Hash.of_string "n2" in
+  let h3 = Hash.of_string "n3" in
+  Node_store.put s h1 "a";
+  Node_store.put s h2 "b";
+  (* Both fresh nodes are cached by put. *)
+  let (), c = Work.measure (fun () -> ignore (Node_store.get s h1)) in
+  Alcotest.(check int) "hot node: cache hit" 1 c.Work.cache_hits;
+  Alcotest.(check int) "hot node: no page read" 0 c.Work.page_reads;
+  (* h3 evicts the LRU entry (h2, since h1 was just touched). *)
+  Node_store.put s h3 "c";
+  let (), c2 = Work.measure (fun () -> ignore (Node_store.get s h2)) in
+  Alcotest.(check int) "evicted node: page read" 1 c2.Work.page_reads;
+  Alcotest.(check int) "evicted node: no cache hit" 0 c2.Work.cache_hits;
+  Alcotest.(check bool) "hit counter grew" true (Node_store.cache_hits s >= 1);
+  Alcotest.(check bool) "miss counter grew" true (Node_store.cache_misses s >= 1);
+  Alcotest.(check int) "LRU bounded" 2 (Node_store.cached_nodes s);
+  (* An absent key counts as a miss but costs nothing. *)
+  let misses = Node_store.cache_misses s in
+  let (), c3 =
+    Work.measure (fun () -> ignore (Node_store.get s (Hash.of_string "zz")))
+  in
+  Alcotest.(check int) "absent: no charge" 0
+    (c3.Work.page_reads + c3.Work.cache_hits);
+  Alcotest.(check int) "absent: miss counted" (misses + 1)
+    (Node_store.cache_misses s)
 
 (* --- WAL --- *)
 
@@ -142,7 +174,8 @@ let () =
   Alcotest.run "storage"
     [ ("node_store",
        [ Alcotest.test_case "dedup" `Quick test_node_store_dedup;
-         Alcotest.test_case "work accounting" `Quick test_node_store_work_accounting ]);
+         Alcotest.test_case "work accounting" `Quick test_node_store_work_accounting;
+         Alcotest.test_case "cache accounting" `Quick test_node_store_cache_accounting ]);
       ("wal", [ Alcotest.test_case "append and replay" `Quick test_wal_append_and_replay ]);
       ("bptree",
        [ Alcotest.test_case "basic" `Quick test_bptree_basic;
