@@ -180,7 +180,17 @@ let parse s =
 
 (* --- the measurements --- *)
 
-let schema_id = "glassdb.bench1/v1"
+(* v2: adds the "metrics" section (Obs registry snapshot of the macro run). *)
+let schema_id = "glassdb.bench1/v2"
+
+let rec of_export (j : Obs.Export.json) =
+  match j with
+  | Obs.Export.Null -> Null
+  | Obs.Export.Bool b -> Bool b
+  | Obs.Export.Num f -> Num f
+  | Obs.Export.Str s -> Str s
+  | Obs.Export.Arr l -> Arr (List.map of_export l)
+  | Obs.Export.Obj l -> Obj (List.map (fun (k, v) -> (k, of_export v)) l)
 
 let key_of i = Printf.sprintf "key-%06d" i
 
@@ -335,12 +345,18 @@ let macro_run ~quick =
 let run ~quick () =
   let micro = micro_sweep ~quick in
   let macro = macro_run ~quick in
+  (* The driver resets the Obs registry at run start, so this snapshot
+     covers exactly the macro run above. *)
+  let metrics =
+    List.map (fun (k, v) -> (k, of_export v)) (Obs.Export.metrics_fields ())
+  in
   to_string
     (Obj
        [ ("schema", Str schema_id);
          ("profile", Str (if quick then "smoke" else "full"));
          ("micro", Arr (List.map json_of_micro micro));
-         ("macro", macro) ])
+         ("macro", macro);
+         ("metrics", Obj metrics) ])
 
 (* --- schema validation (used by the bench-smoke alias) --- *)
 
@@ -352,6 +368,43 @@ let require_num obj name =
   match field name obj with
   | Some (Num _) -> ()
   | _ -> raise (Bad (Printf.sprintf "missing numeric field %S" name))
+
+(* Shape check for an Obs metrics snapshot (the bench "metrics" section and
+   the standalone file --metrics emits).  Raises {!Bad}.  Also used by the
+   trace-smoke alias. *)
+let validate_metrics metrics =
+  (match field "schema" metrics with
+   | Some (Str "glassdb.metrics/v1") -> ()
+   | _ -> raise (Bad "metrics.schema"));
+  let section name =
+    match field name metrics with
+    | Some (Obj fields) -> fields
+    | _ -> raise (Bad (Printf.sprintf "metrics.%s must be an object" name))
+  in
+  let counters = section "counters" in
+  if
+    not
+      (List.exists
+         (fun (_, v) -> match v with Num x -> x > 0. | _ -> false)
+         counters)
+  then raise (Bad "metrics.counters: no nonzero counter");
+  let gauges = section "gauges" in
+  if
+    not
+      (List.exists
+         (fun (_, g) ->
+           match field "samples" g with Some (Arr (_ :: _)) -> true | _ -> false)
+         gauges)
+  then raise (Bad "metrics.gauges: no gauge was ever sampled");
+  let histograms = section "histograms" in
+  if
+    not
+      (List.exists
+         (fun (_, h) ->
+           match field "count" h with Some (Num c) -> c > 0. | _ -> false)
+         histograms)
+  then raise (Bad "metrics.histograms: no histogram observations");
+  ignore (section "attribution")
 
 let validate text =
   match parse text with
@@ -396,6 +449,9 @@ let validate text =
        (match field "failures" macro with
         | Some (Num 0.) -> ()
         | _ -> raise (Bad "macro.failures must be 0"));
+       (match field "metrics" j with
+        | Some (Obj _ as m) -> validate_metrics m
+        | _ -> raise (Bad "metrics must be an object"));
        (* The tentpole claim, asserted on the data itself: from batch 2 up,
           the deduplicated proof is strictly smaller than N independent
           ones.  A singleton batch pays a few bytes of item framing over a

@@ -137,13 +137,32 @@ let list_flag =
 
 let names = Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT")
 
-let main quick list names =
-  if list then list_experiments () else run_suite quick names
+let trace_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record a Chrome trace-event file (virtual-time spans + gauge \
+           counter tracks, loadable in Perfetto) covering the selected \
+           experiments.")
+
+let main quick list names trace =
+  if list then list_experiments ()
+  else begin
+    Option.iter (fun _ -> Obs.Trace.enable ()) trace;
+    run_suite quick names;
+    Option.iter
+      (fun path ->
+        Obs.Export.write_trace ~path;
+        Printf.printf "trace: wrote %s\n%!" path)
+      trace
+  end
 
 let cmd =
   Cmd.v
     (Cmd.info "glassdb-bench"
        ~doc:"Regenerate the paper's tables and figures in simulation")
-    Term.(const main $ quick $ list_flag $ names)
+    Term.(const main $ quick $ list_flag $ names $ trace_file)
 
 let () = exit (Cmd.eval cmd)

@@ -8,7 +8,8 @@ module Client = Glassdb.Client
 module Auditor = Glassdb.Auditor
 module Ledger = Glassdb.Ledger
 
-let run shards ops audit verbose =
+let run shards ops audit verbose trace =
+  Option.iter (fun _ -> Obs.Trace.enable ()) trace;
   Sim.run (fun () ->
       let cluster = Cluster.create (Cluster.default_config ~shards ()) in
       Cluster.start cluster;
@@ -53,7 +54,12 @@ let run shards ops audit verbose =
       end;
       Printf.printf "total virtual time: %.2f s; storage: %d KB\n" (Sim.now ())
         (Cluster.total_storage_bytes cluster / 1024);
-      Cluster.stop cluster)
+      Cluster.stop cluster);
+  Option.iter
+    (fun path ->
+      Obs.Export.write_trace ~path;
+      Printf.printf "trace: wrote %s\n" path)
+    trace
 
 open Cmdliner
 
@@ -69,9 +75,16 @@ let audit =
 let verbose =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print per-shard digests.")
 
+let trace =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Write a Chrome trace-event file of the session (virtual time).")
+
 let cmd =
   Cmd.v
     (Cmd.info "glassdb_demo" ~doc:"Scripted GlassDB session in the simulator")
-    Term.(const run $ shards $ ops $ audit $ verbose)
+    Term.(const run $ shards $ ops $ audit $ verbose $ trace)
 
 let () = exit (Cmd.eval cmd)

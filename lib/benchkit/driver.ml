@@ -81,8 +81,15 @@ let finish setup admin acc started_measuring =
 let in_harness setup ~load ~client_loop =
   let out = ref None in
   Sim.run (fun () ->
+      (* Fresh metric registry per run: the system's nodes re-register
+         their gauges inside [make], so one run's instances never leak
+         into the next run's snapshot. *)
+      Obs.Metrics.reset ();
+      Obs.Attr.reset ();
+      Obs.Attr.enable ();
       let admin = setup.sys.System.make setup.params in
       admin.System.a_start ();
+      let sampler = Obs.Sampler.start ~interval:0.05 () in
       let acc = accum () in
       let loader = admin.System.a_client 0 in
       load loader;
@@ -102,6 +109,7 @@ let in_harness setup ~load ~client_loop =
           admin.System.a_reset_stats ());
       Sim.spawn (fun () ->
           Sim.sleep setup.duration;
+          Obs.Sampler.stop sampler;
           admin.System.a_stop ();
           (* Final flush of deferred verifications. *)
           List.iter
@@ -160,8 +168,12 @@ let run_verified setup cfg ~pick =
 let run_timeline setup ~load ~body ~events =
   let buckets = ref [] in
   Sim.run (fun () ->
+      Obs.Metrics.reset ();
+      Obs.Attr.reset ();
+      Obs.Attr.enable ();
       let admin = setup.sys.System.make setup.params in
       admin.System.a_start ();
+      let sampler = Obs.Sampler.start ~interval:0.05 () in
       let loader = admin.System.a_client 0 in
       load loader;
       let hist = Stats.histogram ~bucket_width:1.0 in
@@ -188,6 +200,7 @@ let run_timeline setup ~load ~body ~events =
         events;
       Sim.spawn (fun () ->
           Sim.sleep setup.duration;
+          Obs.Sampler.stop sampler;
           admin.System.a_stop ();
           buckets := Stats.hist_buckets hist;
           Sim.stop ()));

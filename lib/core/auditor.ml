@@ -51,6 +51,7 @@ type audit_report = {
    replica advances.  All the checking work is charged as auditor time by
    the caller. *)
 let check_block t view (bundle : Node.block_bundle) =
+  Work.with_component "audit" @@ fun () ->
   let header = bundle.Node.bb_header in
   let writes = bundle.Node.bb_writes in
   let txns = bundle.Node.bb_txns in
@@ -107,6 +108,9 @@ let check_block t view (bundle : Node.block_bundle) =
   end
 
 let audit_shard t ~shard =
+  Obs.Trace.span ~cat:"auditor" ~track:(2000 + t.aid) ~name:"audit"
+    ~attrs:[ ("shard", string_of_int shard) ]
+  @@ fun () ->
   let started = Sim.now () in
   let view = t.views.(shard) in
   let fail () =

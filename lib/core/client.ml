@@ -175,6 +175,7 @@ let fan_out t calls =
     ivs
 
 let execute t body =
+  Obs.Trace.span ~cat:"client" ~track:t.cid ~name:"execute" @@ fun () ->
   let h = fresh_handle t in
   match body h with
   | exception Abort reason -> Error reason
@@ -192,16 +193,17 @@ let execute t body =
       in
       let stxn = Kv.sign ~sk:t.sk ~tid:h.tid ~client:t.cid full_rw in
       let verdicts =
-        fan_out t
-          (List.map
-             (fun (shard, rw) ->
-               ( shard,
-                 fun () ->
-                   Cluster.call t.cluster ~phase:("prepare", 1) ~shard
-                     ~req_bytes:(Kv.signed_txn_bytes stxn)
-                     ~resp_bytes:(fun _ -> 8)
-                     (fun nd -> Node.prepare nd ~rw stxn) ))
-             per_shard)
+        Obs.Trace.span ~cat:"client" ~track:t.cid ~name:"prepare" (fun () ->
+            fan_out t
+              (List.map
+                 (fun (shard, rw) ->
+                   ( shard,
+                     fun () ->
+                       Cluster.call t.cluster ~phase:("prepare", 1) ~shard
+                         ~req_bytes:(Kv.signed_txn_bytes stxn)
+                         ~resp_bytes:(fun _ -> 8)
+                         (fun nd -> Node.prepare nd ~rw stxn) ))
+                 per_shard))
       in
       let all_ok =
         List.for_all
@@ -210,16 +212,17 @@ let execute t body =
       in
       if all_ok then begin
         let promise_lists =
-          fan_out t
-            (List.map
-               (fun (shard, _) ->
-                 ( shard,
-                   fun () ->
-                     Cluster.call t.cluster ~phase:("commit", 1) ~shard
-                       ~req_bytes:32
-                       ~resp_bytes:(fun ps -> 16 + (48 * List.length ps))
-                       (fun nd -> Node.commit nd h.tid) ))
-               per_shard)
+          Obs.Trace.span ~cat:"client" ~track:t.cid ~name:"commit" (fun () ->
+              fan_out t
+                (List.map
+                   (fun (shard, _) ->
+                     ( shard,
+                       fun () ->
+                         Cluster.call t.cluster ~phase:("commit", 1) ~shard
+                           ~req_bytes:32
+                           ~resp_bytes:(fun ps -> 16 + (48 * List.length ps))
+                           (fun nd -> Node.commit nd h.tid) ))
+                   per_shard))
         in
         let promises =
           List.concat_map
@@ -361,6 +364,9 @@ let flush_verifications t ?(force = false) () =
   t.pending <- not_due;
   if due = [] then []
   else begin
+    Obs.Trace.span ~cat:"client" ~track:t.cid ~name:"deferred-verify"
+      ~attrs:[ ("keys", string_of_int (List.length due)) ]
+    @@ fun () ->
     (* Batch by shard: one get-proof request carrying all due promises. *)
     let by_shard = Hashtbl.create 4 in
     List.iter

@@ -67,8 +67,11 @@ let persister t nd =
             while !continue_ && t.running && Node.alive nd do
               decr budget;
               let stepped, dt =
-                charged_call cost nd (fun () ->
-                    Node.persist_step nd ~now:(Sim.now ()))
+                Obs.Trace.span ~cat:"node"
+                  ~track:(1000 + Node.shard_id nd) ~name:"persist"
+                  (fun () ->
+                    charged_call cost nd (fun () ->
+                        Node.persist_step nd ~now:(Sim.now ())))
               in
               if stepped then begin
                 let keys =
@@ -114,9 +117,12 @@ let call t ?phase ~shard ~req_bytes ~resp_bytes f =
     (* Server-side latency = queueing for a worker + charged service time;
        recorded per phase for the cost-breakdown figures. *)
     let arrived = Sim.now () in
+    let span_name = match phase with Some (n, _) -> n | None -> "rpc" in
     let v, _ =
-      Sim.Resource.use (Node.workers nd) (fun () ->
-          charged_call t.cfg.node.Node.cost nd (fun () -> f nd))
+      Obs.Trace.span ~cat:"node" ~track:(1000 + shard) ~name:span_name
+        (fun () ->
+          Sim.Resource.use (Node.workers nd) (fun () ->
+              charged_call t.cfg.node.Node.cost nd (fun () -> f nd)))
     in
     (match phase with
      | Some (name, keys) when keys > 0 ->

@@ -526,3 +526,44 @@ let verify_append_only ~old_digest ~new_digest proof =
       Hash.equal (Hash.of_string a_header) old_digest.head
       && Pos_tree.verify ~root:new_digest.root
            ~key:(block_key old_digest.block_no) ~value:(Some a_header) a_upper
+
+(* --- work attribution ---
+
+   Shadowed entry points charge their direct work (header hashing, payload
+   encoding, proof assembly) to a ledger-level component; the tree work
+   they trigger is charged to "postree" / "verify" by the Pos_tree scopes
+   nested inside (exclusive attribution, see Glassdb_util.Work). *)
+
+let append_block t ~time ~writes ~txns =
+  Work.with_component "ledger" (fun () -> append_block t ~time ~writes ~txns)
+
+let prove_inclusion t key ~block =
+  Work.with_component "proof" (fun () -> prove_inclusion t key ~block)
+
+let prove_current t key =
+  Work.with_component "proof" (fun () -> prove_current t key)
+
+let prove_inclusion_batch t keys ~block =
+  Work.with_component "proof" (fun () -> prove_inclusion_batch t keys ~block)
+
+let prove_scan t ~lo ~hi ?block () =
+  Work.with_component "proof" (fun () -> prove_scan t ~lo ~hi ?block ())
+
+let prove_append_only t ~old_block =
+  Work.with_component "proof" (fun () -> prove_append_only t ~old_block)
+
+let verify_inclusion ~digest ~key ~value p =
+  Work.with_component "verify" (fun () -> verify_inclusion ~digest ~key ~value p)
+
+let verify_current ~digest ~key ~value p =
+  Work.with_component "verify" (fun () -> verify_current ~digest ~key ~value p)
+
+let verify_inclusion_batch ~digest p =
+  Work.with_component "verify" (fun () -> verify_inclusion_batch ~digest p)
+
+let verify_scan ~digest ~lo ~hi ~rows p =
+  Work.with_component "verify" (fun () -> verify_scan ~digest ~lo ~hi ~rows p)
+
+let verify_append_only ~old_digest ~new_digest proof =
+  Work.with_component "verify" (fun () ->
+      verify_append_only ~old_digest ~new_digest proof)

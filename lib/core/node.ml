@@ -50,26 +50,67 @@ type t = {
   stats : (string, Stats.t) Hashtbl.t;
   mutable commits : int;
   mutable aborts : int;
+  (* Observability handles (hot-path: a field update, no registry probe). *)
+  labels : (string * string) list;
+  m_commits : Obs.Metrics.counter;
+  m_aborts : Obs.Metrics.counter;
 }
+
+(* Callback gauges into the node's live state, scraped periodically by the
+   Obs sampler.  Registration replaces any gauge a previous run's node left
+   behind for the same shard. *)
+let register_gauges t =
+  let g name read = Obs.Metrics.gauge ~name ~labels:t.labels read in
+  g "glassdb.node.wal_bytes" (fun () ->
+      float_of_int (Storage.Wal.size_bytes t.wal));
+  g "glassdb.node.pending_blocks" (fun () ->
+      float_of_int
+        (if t.cfg.batching then Committed_map.max_depth t.cmap
+         else Queue.length t.txn_blocks));
+  g "glassdb.node.committed_keys" (fun () ->
+      float_of_int (Committed_map.pending_keys t.cmap));
+  g "glassdb.node.blocks" (fun () ->
+      float_of_int (Ledger.latest_block t.ledger + 1));
+  g "glassdb.node.workers_in_use" (fun () ->
+      float_of_int (Sim.Resource.in_use t.worker_pool));
+  g "glassdb.node.workers_queued" (fun () ->
+      float_of_int (Sim.Resource.queue_length t.worker_pool));
+  g "glassdb.node.disk_in_use" (fun () ->
+      float_of_int (Sim.Resource.in_use t.disk));
+  g "glassdb.node.disk_queued" (fun () ->
+      float_of_int (Sim.Resource.queue_length t.disk));
+  g "glassdb.node.store_cache_hit_ratio" (fun () ->
+      let h = Storage.Node_store.cache_hits t.node_store in
+      let m = Storage.Node_store.cache_misses t.node_store in
+      if h + m = 0 then 0. else float_of_int h /. float_of_int (h + m))
 
 let create cfg ~shard_id =
   let node_store = Storage.Node_store.create () in
-  { id = shard_id;
-    cfg;
-    occ = Occ.create ();
-    cmap = Committed_map.create ();
-    ledger = Ledger.create (Ledger.config ~pattern_bits:cfg.pattern_bits node_store);
-    wal = Storage.Wal.create ();
-    node_store;
-    worker_pool = Sim.Resource.create cfg.workers;
-    disk = Sim.Resource.create 1;
-    is_alive = true;
-    signed = Hashtbl.create 256;
-    txn_blocks = Queue.create ();
-    persisted_marks = [];
-    stats = Hashtbl.create 8;
-    commits = 0;
-    aborts = 0 }
+  let labels = [ ("shard", string_of_int shard_id) ] in
+  let t =
+    { id = shard_id;
+      cfg;
+      occ = Occ.create ();
+      cmap = Committed_map.create ();
+      ledger =
+        Ledger.create (Ledger.config ~pattern_bits:cfg.pattern_bits node_store);
+      wal = Storage.Wal.create ();
+      node_store;
+      worker_pool = Sim.Resource.create cfg.workers;
+      disk = Sim.Resource.create 1;
+      is_alive = true;
+      signed = Hashtbl.create 256;
+      txn_blocks = Queue.create ();
+      persisted_marks = [];
+      stats = Hashtbl.create 8;
+      commits = 0;
+      aborts = 0;
+      labels;
+      m_commits = Obs.Metrics.counter ~name:"glassdb.node.commits" ~labels ();
+      m_aborts = Obs.Metrics.counter ~name:"glassdb.node.aborts" ~labels () }
+  in
+  register_gauges t;
+  t
 
 let shard_id t = t.id
 let alive t = t.is_alive
@@ -88,7 +129,11 @@ let note_phase t phase v =
       Hashtbl.replace t.stats phase s;
       s
   in
-  Stats.add s v
+  Stats.add s v;
+  Obs.Metrics.observe
+    (Obs.Metrics.histogram ~name:"glassdb.node.phase_seconds"
+       ~labels:(("phase", phase) :: t.labels) ())
+    v
 
 let phase_stats t = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.stats []
 
@@ -237,6 +282,7 @@ let commit t tid =
   | None -> []
   | Some rw ->
     t.commits <- t.commits + 1;
+    Obs.Metrics.inc t.m_commits;
     ignore
       (Storage.Wal.append t.wal ~kind:"commit"
          ~payload:(wal_commit_payload tid rw.Kv.writes));
@@ -272,6 +318,7 @@ let commit t tid =
 
 let abort t tid =
   t.aborts <- t.aborts + 1;
+  Obs.Metrics.inc t.m_aborts;
   Occ.abort t.occ ~tid;
   Hashtbl.remove t.signed tid;
   ignore (Storage.Wal.append t.wal ~kind:"abort" ~payload:tid)

@@ -1,0 +1,71 @@
+(** Labeled metric registry: counters, callback gauges and log-bucketed
+    histograms, all with bounded memory.
+
+    Handles returned by {!counter} / {!histogram} are plain mutable
+    records — the hot path is a field update, never a hashtable probe.
+    Gauges are read-callbacks into live objects and are scraped into a
+    time series by {!Sampler} (via {!sample_gauges}).  Snapshots are
+    emitted in a canonical (name, labels) order so identical simulated
+    runs serialize byte-identically.
+
+    Naming convention: dot-separated subsystem paths
+    ([glassdb.node.wal_bytes], [glassdb.client.verify_seconds]) with
+    instance identity carried in labels ([("shard", "3")]), never in the
+    name. *)
+
+open Glassdb_util
+
+type labels = (string * string) list
+
+type counter
+
+val reset : unit -> unit
+(** Drop every registered metric.  The benchmark driver calls this at the
+    start of each run so one run's gauges never leak into the next. *)
+
+val counter : name:string -> ?labels:labels -> unit -> counter
+(** Find-or-create.  Raises [Invalid_argument] if the name is already
+    registered as a different metric kind. *)
+
+val inc : ?by:float -> counter -> unit
+val counter_value : counter -> float
+
+val gauge : name:string -> ?labels:labels -> (unit -> float) -> unit
+(** Register (or replace) a callback gauge.  Replacement lets a freshly
+    created cluster take over its shard's gauge from a previous run. *)
+
+val histogram : name:string -> ?labels:labels -> unit -> Lhist.t
+(** Find-or-create a log-bucketed histogram (default {!Lhist} geometry:
+    ~9.1% quantile error, fixed memory). *)
+
+val observe : Lhist.t -> float -> unit
+
+val sample_gauges : float -> unit
+(** Read every registered gauge and append [(time, value)] to its series
+    (bounded; excess samples are dropped).  Called by {!Sampler}. *)
+
+(** {2 Snapshots} *)
+
+type hist_snapshot = {
+  h_count : int;
+  h_sum : float;
+  h_min : float;
+  h_max : float;
+  h_p50 : float;
+  h_p99 : float;
+  h_buckets : (float * float * int) list;
+}
+
+type value =
+  | Vcounter of float
+  | Vgauge of float * (float * float) list
+      (** last scraped value, series oldest-first *)
+  | Vhistogram of hist_snapshot
+
+type entry = { e_name : string; e_labels : labels; e_value : value }
+
+val snapshot : unit -> entry list
+(** Every registered metric, sorted by (name, labels). *)
+
+val fq_name : entry -> string
+(** Prometheus-style rendering: [name{k=v,...}]. *)

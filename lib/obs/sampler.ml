@@ -1,0 +1,23 @@
+(* Periodic gauge scraper: a simulated process that turns callback gauges
+   into time series.  Spawned inside Sim.run; the loop is cut either by
+   [stop] or by the simulation draining/stopping. *)
+
+type t = { mutable running : bool; interval : float }
+
+let start ?(interval = 0.05) () =
+  if interval <= 0. then invalid_arg "Sampler.start: interval";
+  let h = { running = true; interval } in
+  Sim.spawn (fun () ->
+      let rec loop () =
+        if h.running then begin
+          Sim.sleep h.interval;
+          if h.running then begin
+            Metrics.sample_gauges (Sim.now ());
+            loop ()
+          end
+        end
+      in
+      loop ());
+  h
+
+let stop h = h.running <- false

@@ -1,0 +1,18 @@
+(** Periodic gauge sampler.
+
+    [start ~interval ()] spawns a simulated process (must be called inside
+    [Sim.run]) that calls {!Metrics.sample_gauges} every [interval] virtual
+    seconds — first scrape at [t0 + interval] — turning every registered
+    gauge (queue depths, WAL size, cache hit ratio, ...) into a
+    deterministic time series.  The scrape itself performs no simulated
+    work and takes no virtual time, so it never perturbs the run it is
+    observing. *)
+
+type t
+
+val start : ?interval:float -> unit -> t
+(** Default interval: 0.05 virtual seconds. *)
+
+val stop : t -> unit
+(** The process exits at its next wake-up (it also dies with the
+    simulation when [Sim.stop] discards pending events). *)

@@ -1,0 +1,73 @@
+(* Lightweight spans over the simulator's virtual clock.
+
+   Disabled by default: [span] then costs one flag check and runs the
+   thunk directly, so tracing never perturbs measured Work / charged Cost
+   numbers.  When enabled, completed spans accumulate in a bounded buffer
+   as Chrome trace-event "complete" events ("ph":"X") with virtual time as
+   the timebase; Export.trace_json serializes them for Perfetto. *)
+
+type event = {
+  ev_name : string;
+  ev_cat : string;
+  ev_track : int;   (* rendered as the Chrome tid *)
+  ev_ts : float;    (* virtual seconds *)
+  ev_dur : float;   (* virtual seconds *)
+  ev_attrs : (string * string) list;
+}
+
+type state = {
+  mutable enabled : bool;
+  mutable events : event list; (* newest first *)
+  mutable n_events : int;
+  mutable capacity : int;
+  mutable dropped : int;
+}
+
+let st =
+  { enabled = false; events = []; n_events = 0; capacity = 200_000;
+    dropped = 0 }
+
+let enabled () = st.enabled
+
+let clear () =
+  st.events <- [];
+  st.n_events <- 0;
+  st.dropped <- 0
+
+let enable ?(capacity = 200_000) () =
+  clear ();
+  st.capacity <- capacity;
+  st.enabled <- true
+
+let disable () = st.enabled <- false
+
+let now () = if Sim.in_simulation () then Sim.now () else 0.
+
+let record ev =
+  if st.n_events >= st.capacity then st.dropped <- st.dropped + 1
+  else begin
+    st.events <- ev :: st.events;
+    st.n_events <- st.n_events + 1
+  end
+
+let span ?(cat = "glassdb") ?(track = 0) ?(attrs = []) ~name f =
+  if not st.enabled then f ()
+  else begin
+    let t0 = now () in
+    Fun.protect
+      ~finally:(fun () ->
+        record
+          { ev_name = name; ev_cat = cat; ev_track = track; ev_ts = t0;
+            ev_dur = now () -. t0; ev_attrs = attrs })
+      f
+  end
+
+let instant ?(cat = "glassdb") ?(track = 0) ?(attrs = []) name =
+  if st.enabled then
+    record
+      { ev_name = name; ev_cat = cat; ev_track = track; ev_ts = now ();
+        ev_dur = -1.; ev_attrs = attrs }
+
+let events () = List.rev st.events
+let event_count () = st.n_events
+let dropped () = st.dropped

@@ -1,0 +1,51 @@
+(** Virtual-time tracing spans.
+
+    Span taxonomy (the transaction lifecycle, client then server side):
+    ["execute"] (whole client transaction), ["prepare"] / ["commit"]
+    (per-round client RPC fan-outs and, with [cat:"node"], the per-shard
+    server handlers), ["persist"] (one persister block step),
+    ["deferred-verify"] (a client's get-proof flush), ["audit"] (an
+    auditor's per-shard re-execution round).  Tracks separate concurrent
+    actors: clients use their client id, server shards [1000 + shard],
+    auditors [2000 + id].
+
+    Tracing is disabled by default and [span] is then a single flag check
+    around the thunk — zero simulated cost, since only [Work] counters and
+    [Sim] sleeps are charged.  Enabled, completed spans accumulate in a
+    bounded in-memory buffer with virtual time as the timebase; export via
+    {!Export.trace_json} (Chrome trace-event JSON, loadable in Perfetto). *)
+
+type event = {
+  ev_name : string;
+  ev_cat : string;
+  ev_track : int;
+  ev_ts : float;   (** virtual seconds *)
+  ev_dur : float;  (** virtual seconds; -1 for instant events *)
+  ev_attrs : (string * string) list;
+}
+
+val enabled : unit -> bool
+
+val enable : ?capacity:int -> unit -> unit
+(** Clear the buffer and start recording (default capacity 200k events;
+    beyond it spans are counted in {!dropped} instead of stored). *)
+
+val disable : unit -> unit
+val clear : unit -> unit
+
+val span :
+  ?cat:string -> ?track:int -> ?attrs:(string * string) list ->
+  name:string -> (unit -> 'a) -> 'a
+(** Run the thunk inside a span.  Timestamps use [Sim.now] when inside a
+    simulation, 0 otherwise.  Exception-safe: the span closes (and is
+    recorded) even if the thunk raises. *)
+
+val instant :
+  ?cat:string -> ?track:int -> ?attrs:(string * string) list -> string -> unit
+(** Record a zero-duration marker event. *)
+
+val events : unit -> event list
+(** Completed events, oldest first. *)
+
+val event_count : unit -> int
+val dropped : unit -> int

@@ -723,3 +723,43 @@ let verify_range ~root ~lo ~hi ~bindings proof =
 
 let stats_nodes t =
   Array.fold_left (fun acc lv -> acc + Array.length lv.chunks) 0 t.levels
+
+(* --- work attribution ---
+
+   Shadow the public entry points with component scopes so the global Work
+   counters can be broken down per subsystem (see Glassdb_util.Work).
+   Internal callers above this point use the unscoped definitions: under
+   exclusive attribution their work is charged to whichever scope is
+   already open, which is exactly the outer entry point's component. *)
+
+let get t key = Work.with_component "postree" (fun () -> get t key)
+
+let insert_batch t updates =
+  Work.with_component "postree" (fun () -> insert_batch t updates)
+
+let load cfg root = Work.with_component "postree" (fun () -> load cfg root)
+
+(* Proof-serving walks get their own component so server-side tree
+   maintenance ("postree") and proof generation ("proof") separate in the
+   attribution table. *)
+
+let prove t key = Work.with_component "proof" (fun () -> prove t key)
+
+let prove_batch t keys =
+  Work.with_component "proof" (fun () -> prove_batch t keys)
+
+let prove_range t ~lo ~hi =
+  Work.with_component "proof" (fun () -> prove_range t ~lo ~hi)
+
+let verify ~root ~key ~value proof =
+  Work.with_component "verify" (fun () -> verify ~root ~key ~value proof)
+
+let verify_batch ~root ~items proof =
+  Work.with_component "verify" (fun () -> verify_batch ~root ~items proof)
+
+let extract_range ~root ~lo ~hi proof =
+  Work.with_component "verify" (fun () -> extract_range ~root ~lo ~hi proof)
+
+let verify_range ~root ~lo ~hi ~bindings proof =
+  Work.with_component "verify" (fun () ->
+      verify_range ~root ~lo ~hi ~bindings proof)

@@ -32,9 +32,19 @@ let time_of t c = cpu_time t c +. io_time t c
 let split_time t c = (cpu_time t c, io_time t c)
 
 let charged_time t f =
-  let v, c = Work.measure f in
-  let d = time_of t c in
-  Sim.sleep d;
-  (v, d)
+  (* Exception-safe: the work performed before an escaping exception is
+     still charged as service time, so simulated clocks stay consistent
+     with the global Work counters even on error paths. *)
+  let before = Work.snapshot () in
+  match f () with
+  | v ->
+    let d = time_of t (Work.sub (Work.snapshot ()) before) in
+    Sim.sleep d;
+    (v, d)
+  | exception e ->
+    let bt = Printexc.get_raw_backtrace () in
+    let d = time_of t (Work.sub (Work.snapshot ()) before) in
+    Sim.sleep d;
+    Printexc.raise_with_backtrace e bt
 
 let charge t f = fst (charged_time t f)

@@ -29,7 +29,9 @@ val split_time : t -> Glassdb_util.Work.counters -> float * float
 
 val charge : t -> (unit -> 'a) -> 'a
 (** Run a thunk, measure its work, and {!Sim.sleep} for the corresponding
-    service time.  Must be called inside a simulation. *)
+    service time.  Must be called inside a simulation.  Exception-safe:
+    if the thunk raises, the work it performed up to the raise is still
+    slept for before the exception is re-raised with its backtrace. *)
 
 val charged_time : t -> (unit -> 'a) -> 'a * float
 (** Like {!charge} but also returns the charged duration. *)

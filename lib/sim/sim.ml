@@ -91,6 +91,8 @@ let run ?until main =
 
 let now () = (scheduler ()).time
 
+let in_simulation () = !current <> None
+
 let spawn f =
   let s = scheduler () in
   schedule s ~delay:0. (fun () -> exec s f)

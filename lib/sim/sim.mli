@@ -22,6 +22,12 @@ val run : ?until:float -> (unit -> unit) -> unit
 val now : unit -> float
 (** Current virtual time, in seconds.  Only valid inside {!run}. *)
 
+val in_simulation : unit -> bool
+(** [true] between entry to and exit from {!run} — i.e. when {!now},
+    {!sleep} and friends may be called.  Lets optional instrumentation
+    (tracing, samplers) timestamp with virtual time when available and
+    fall back gracefully outside a simulation. *)
+
 val sleep : float -> unit
 (** Suspend the calling process for the given virtual duration (>= 0). *)
 

@@ -11,6 +11,7 @@ type t = {
 let create () = { records = []; next_seq = 0; bytes = 0 }
 
 let append t ~kind ~payload =
+  Work.with_component "wal" @@ fun () ->
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
   let r = { seq; kind; payload } in

@@ -1,0 +1,116 @@
+(* Log-bucketed histogram with a fixed bucket array, so memory is bounded
+   regardless of how many samples are recorded.
+
+   Bucket 0 holds everything at or below [lo]; bucket i (1 <= i < buckets)
+   holds (lo * g^(i-1), lo * g^i].  With the default geometry (lo = 1e-9,
+   8 buckets per octave => g = 2^(1/8) ~ 1.0905, 48 octaves) the covered
+   range is 1 ns .. ~2.8e5 s and any quantile estimate is within one bucket
+   ratio (g - 1 ~ 9.1%) of the true sample. *)
+
+type t = {
+  lo : float;
+  growth : float;
+  inv_log_growth : float;
+  counts : int array;
+  mutable count : int;
+  mutable sum : float;
+  mutable min_v : float;
+  mutable max_v : float;
+}
+
+let default_lo = 1e-9
+let default_buckets_per_octave = 8
+let default_octaves = 48
+
+let create ?(lo = default_lo) ?(buckets_per_octave = default_buckets_per_octave)
+    ?(octaves = default_octaves) () =
+  if lo <= 0. then invalid_arg "Lhist.create: lo must be positive";
+  if buckets_per_octave <= 0 || octaves <= 0 then
+    invalid_arg "Lhist.create: bucket counts must be positive";
+  let growth = Float.pow 2. (1. /. float_of_int buckets_per_octave) in
+  { lo;
+    growth;
+    inv_log_growth = 1. /. log growth;
+    counts = Array.make ((buckets_per_octave * octaves) + 1) 0;
+    count = 0;
+    sum = 0.;
+    min_v = infinity;
+    max_v = neg_infinity }
+
+let n_buckets t = Array.length t.counts
+
+let bucket_of t v =
+  if v <= t.lo then 0
+  else begin
+    (* Bucket i covers (lo * g^(i-1), lo * g^i], so i = ceil(log_g (v/lo));
+       the -1e-9 slack keeps exact bucket-edge values (lo * g^k) in bucket k
+       despite floating-point rounding in log. *)
+    let i =
+      int_of_float (Float.ceil ((log (v /. t.lo) *. t.inv_log_growth) -. 1e-9))
+    in
+    if i < 1 then 1 else min i (n_buckets t - 1)
+  end
+
+(* Inclusive upper bound of a bucket; bucket 0's is [lo] itself. *)
+let bucket_hi t i = if i = 0 then t.lo else t.lo *. Float.pow t.growth (float_of_int i)
+let bucket_lo t i = if i = 0 then 0. else t.lo *. Float.pow t.growth (float_of_int (i - 1))
+
+let add t v =
+  t.counts.(bucket_of t v) <- t.counts.(bucket_of t v) + 1;
+  t.count <- t.count + 1;
+  t.sum <- t.sum +. v;
+  if v < t.min_v then t.min_v <- v;
+  if v > t.max_v then t.max_v <- v
+
+let count t = t.count
+let sum t = t.sum
+let mean t = if t.count = 0 then 0. else t.sum /. float_of_int t.count
+let min_value t = if t.count = 0 then 0. else t.min_v
+let max_value t = if t.count = 0 then 0. else t.max_v
+
+let percentile t p =
+  if p < 0. || p > 1. then invalid_arg "Lhist.percentile";
+  if t.count = 0 then 0.
+  else begin
+    (* Nearest-rank over the bucket counts; the answer is the containing
+       bucket's upper bound, clamped to the observed [min, max]. *)
+    let target =
+      max 1 (int_of_float (Float.ceil (p *. float_of_int t.count)))
+    in
+    let rec find i cum =
+      let cum = cum + t.counts.(i) in
+      if cum >= target || i = n_buckets t - 1 then i else find (i + 1) cum
+    in
+    let b = find 0 0 in
+    Float.max t.min_v (Float.min t.max_v (bucket_hi t b))
+  end
+
+let buckets t =
+  let acc = ref [] in
+  for i = n_buckets t - 1 downto 0 do
+    if t.counts.(i) > 0 then
+      acc := (bucket_lo t i, bucket_hi t i, t.counts.(i)) :: !acc
+  done;
+  !acc
+
+let merge a b =
+  if
+    a.lo <> b.lo || a.growth <> b.growth
+    || Array.length a.counts <> Array.length b.counts
+  then invalid_arg "Lhist.merge: incompatible geometries";
+  let t =
+    { a with
+      counts = Array.mapi (fun i c -> c + b.counts.(i)) a.counts;
+      count = a.count + b.count;
+      sum = a.sum +. b.sum;
+      min_v = Float.min a.min_v b.min_v;
+      max_v = Float.max a.max_v b.max_v }
+  in
+  t
+
+let clear t =
+  Array.fill t.counts 0 (Array.length t.counts) 0;
+  t.count <- 0;
+  t.sum <- 0.;
+  t.min_v <- infinity;
+  t.max_v <- neg_infinity

@@ -1,0 +1,38 @@
+(** Log-bucketed histogram with bounded memory.
+
+    A fixed array of geometrically growing buckets: bucket 0 holds every
+    sample at or below [lo]; bucket [i] covers [(lo*g^(i-1), lo*g^i]].
+    Memory is O(buckets) however many samples are added, and quantile
+    estimates are within one bucket ratio — a relative error of at most
+    [g - 1] (about 9.1% with the default 8 buckets per octave) — of the
+    true nearest-rank sample.  Count, sum, min and max stay exact. *)
+
+type t
+
+val create : ?lo:float -> ?buckets_per_octave:int -> ?octaves:int -> unit -> t
+(** Defaults: [lo] = 1e-9, 8 buckets per octave, 48 octaves (covering
+    1 ns .. ~2.8e5 in the unit of the samples). *)
+
+val add : t -> float -> unit
+(** Record a sample.  Values at or below [lo] (including negatives)
+    collapse into the first bucket; values beyond the last bucket clamp
+    into it.  Min/max/sum/count remain exact regardless. *)
+
+val count : t -> int
+val sum : t -> float
+val mean : t -> float
+val min_value : t -> float
+val max_value : t -> float
+
+val percentile : t -> float -> float
+(** Nearest-rank quantile estimate: the upper bound of the containing
+    bucket, clamped to the observed [min, max].  0. when empty; the
+    fraction must be in [0, 1].  Relative error bound: [g - 1]. *)
+
+val buckets : t -> (float * float * int) list
+(** Non-empty buckets as [(lower, upper, count)], ascending. *)
+
+val merge : t -> t -> t
+(** New histogram holding both sample sets; geometries must match. *)
+
+val clear : t -> unit

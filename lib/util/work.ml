@@ -24,6 +24,8 @@ let sub a b =
     page_reads = a.page_reads - b.page_reads;
     cache_hits = a.cache_hits - b.cache_hits }
 
+let is_zero c = c = zero
+
 let state = ref zero
 
 let note_hash ?(n = 1) () = state := { !state with hashes = !state.hashes + n }
@@ -45,5 +47,66 @@ let reset () = state := zero
 
 let measure f =
   let before = snapshot () in
-  let v = f () in
-  (v, sub (snapshot ()) before)
+  match f () with
+  | v -> (v, sub (snapshot ()) before)
+  | exception e ->
+    (* The global counters already include whatever work [f] performed
+       before raising — nothing to roll back — but preserve the backtrace
+       so the measurement wrapper is invisible to error reports. *)
+    let bt = Printexc.get_raw_backtrace () in
+    Printexc.raise_with_backtrace e bt
+
+(* --- per-component attribution --- *)
+
+(* A scoped component stack: [with_component c f] attributes the work done
+   directly inside [f] — excluding work inside nested [with_component]
+   scopes — to component [c].  Frames live on an explicit stack; exits go
+   through [Fun.protect] so an escaping exception still pops the frame and
+   attributes the work performed up to the raise. *)
+
+type frame = { comp : string; start : counters; mutable child : counters }
+
+let attribution_on = ref false
+let frames : frame list ref = ref []
+let attributed : (string, counters ref) Hashtbl.t = Hashtbl.create 16
+
+let attribution_enabled () = !attribution_on
+
+let set_attribution on =
+  attribution_on := on;
+  if not on then frames := []
+
+let reset_attribution () =
+  Hashtbl.reset attributed;
+  frames := []
+
+let attribute comp delta =
+  if not (is_zero delta) then begin
+    match Hashtbl.find_opt attributed comp with
+    | Some cell -> cell := add !cell delta
+    | None -> Hashtbl.replace attributed comp (ref delta)
+  end
+
+let with_component comp f =
+  if not !attribution_on then f ()
+  else begin
+    let fr = { comp; start = snapshot (); child = zero } in
+    frames := fr :: !frames;
+    Fun.protect
+      ~finally:(fun () ->
+        (match !frames with
+         | top :: rest when top == fr -> frames := rest
+         | _ ->
+           (* Only reachable if attribution was toggled mid-scope. *)
+           frames := []);
+        let total = sub (snapshot ()) fr.start in
+        attribute comp (sub total fr.child);
+        match !frames with
+        | parent :: _ -> parent.child <- add parent.child total
+        | [] -> ())
+      f
+  end
+
+let attribution () =
+  Hashtbl.fold (fun comp cell acc -> (comp, !cell) :: acc) attributed []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)

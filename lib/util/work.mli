@@ -29,4 +29,33 @@ val snapshot : unit -> counters
 val reset : unit -> unit
 
 val measure : (unit -> 'a) -> 'a * counters
-(** Run a thunk and return the work it performed. *)
+(** Run a thunk and return the work it performed.  Exception-safe: an
+    escaping exception is re-raised with its original backtrace, and the
+    work performed before the raise remains in the global counters (and in
+    the current attribution component, if any). *)
+
+(** {2 Per-component attribution}
+
+    A scoped component stack over the global counters: code wraps its work
+    in {!with_component}, and the deltas accrued directly inside the scope
+    — excluding nested scopes — are accumulated per component name.  This
+    is what breaks the global hash / page-read / node-write totals down
+    into postree vs ledger vs WAL vs proof-serving.  Disabled by default;
+    when disabled, {!with_component} is a single flag check. *)
+
+val attribution_enabled : unit -> bool
+
+val set_attribution : bool -> unit
+(** Turning attribution off also discards any open frames. *)
+
+val reset_attribution : unit -> unit
+(** Clear the accumulated per-component totals (and any open frames). *)
+
+val with_component : string -> (unit -> 'a) -> 'a
+(** [with_component c f] runs [f], attributing the counter deltas accrued
+    directly inside it (self time, not nested scopes) to component [c].
+    Exception-safe via [Fun.protect]: an escaping exception still pops the
+    frame and attributes the work performed up to the raise. *)
+
+val attribution : unit -> (string * counters) list
+(** Accumulated per-component deltas, sorted by component name. *)
