@@ -76,6 +76,5 @@ let check_no_failures (r : Driver.result) =
 let say fmt = Printf.printf fmt
 
 let timed name f =
-  let t0 = Unix.gettimeofday () in
-  f ();
-  Printf.printf "   [%s took %.1fs wall]\n%!" name (Unix.gettimeofday () -. t0)
+  let (), dt = Wallclock.wall_timed f in
+  Printf.printf "   [%s took %.1fs wall]\n%!" name dt

@@ -65,12 +65,11 @@ let bechamel_micro () =
     Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
   in
   let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
-  Hashtbl.iter
-    (fun name result ->
-      match Analyze.OLS.estimates result with
-      | Some [ est ] -> Printf.printf "%-40s %14.1f\n%!" name est
-      | _ -> Printf.printf "%-40s (no estimate)\n%!" name)
-    results
+  Glassdb_util.Det.sorted_bindings ~cmp:String.compare results
+  |> List.iter (fun (name, result) ->
+         match Analyze.OLS.estimates result with
+         | Some [ est ] -> Printf.printf "%-40s %14.1f\n%!" name est
+         | _ -> Printf.printf "%-40s (no estimate)\n%!" name)
 
 let experiments : (string * string * (unit -> unit)) list =
   [ ("table1", "proof sizes vs history length (Table 1)", Micro.table1);
@@ -117,12 +116,14 @@ let run_suite quick names =
             exit 2)
         names
   in
-  let t0 = Unix.gettimeofday () in
   Printf.printf "GlassDB benchmark suite: %d experiment(s), %s profile\n%!"
     (List.length selected)
     (if quick then "quick" else "default");
-  List.iter (fun (id, _, f) -> Common.timed id f) selected;
-  Printf.printf "\nTotal wall time: %.0fs\n" (Unix.gettimeofday () -. t0)
+  let (), total =
+    Benchkit.Wallclock.wall_timed (fun () ->
+        List.iter (fun (id, _, f) -> Common.timed id f) selected)
+  in
+  Printf.printf "\nTotal wall time: %.0fs\n" total
 
 let list_experiments () =
   List.iter (fun (id, doc, _) -> Printf.printf "%-8s %s\n" id doc) experiments

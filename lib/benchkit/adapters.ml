@@ -13,7 +13,7 @@ let merge_phase_stats per_node =
           | None -> Hashtbl.replace tbl phase s)
         stats)
     per_node;
-  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  Det.sorted_bindings ~cmp:String.compare tbl
 
 (* --- GlassDB --- *)
 

@@ -118,7 +118,9 @@ let in_harness setup ~load ~client_loop =
             !clients;
           out := Some (finish setup admin acc setup.warmup);
           Sim.stop ()));
-  Option.get !out
+  match !out with
+  | Some r -> r
+  | None -> failwith "Driver: simulation stopped without producing a result"
 
 let run_transactional setup ~load ~body =
   let client_loop ~client ~rng ~acc ~stop_at ~measure_from =
@@ -134,7 +136,7 @@ let run_transactional setup ~load ~body =
          | Error _ -> acc.aborts <- acc.aborts + 1);
         List.iter (note_verification acc) (client.System.c_flush ~force:false)
       end;
-      if t1 = t0 then Sim.sleep 1e-6 (* defensive: guarantee progress *)
+      if Float.equal t1 t0 then Sim.sleep 1e-6 (* defensive: guarantee progress *)
     done
   in
   in_harness setup ~load ~client_loop
@@ -160,7 +162,7 @@ let run_verified setup cfg ~pick =
          | Error _ -> acc.aborts <- acc.aborts + 1);
         List.iter (note_verification acc) (client.System.c_flush ~force:false)
       end;
-      if t1 = t0 then Sim.sleep 1e-6
+      if Float.equal t1 t0 then Sim.sleep 1e-6
     done
   in
   in_harness setup ~load:(fun c -> Ycsb.load c cfg) ~client_loop
@@ -189,7 +191,7 @@ let run_timeline setup ~load ~body ~events =
               (match body client rng with
                | Ok () -> Stats.hist_add hist (Sim.now () -. t_start)
                | Error _ -> ());
-              if Sim.now () = t0 then Sim.sleep 1e-6
+              if Float.equal (Sim.now ()) t0 then Sim.sleep 1e-6
             done)
       done;
       List.iter

@@ -1,0 +1,15 @@
+(* The single sanctioned wall-clock read in the tree.
+
+   Everything inside the simulator runs on virtual time (Sim.now); real
+   time is only meaningful for the human-facing "this experiment took
+   Ns" line the bench harness prints.  Routing every such reading
+   through this helper keeps glassdb-lint rule D001 to exactly one
+   annotated site — a new Unix.gettimeofday anywhere else is a lint
+   failure, not a silent reproducibility bug. *)
+
+let now_s () = (Unix.gettimeofday [@glassdb.lint.allow "D001"]) ()
+
+let wall_timed f =
+  let t0 = now_s () in
+  let v = f () in
+  (v, now_s () -. t0)

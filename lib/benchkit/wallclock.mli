@@ -1,0 +1,10 @@
+(** The single sanctioned wall-clock site (glassdb-lint rule D001).
+    Only for human-facing bench reporting — never for anything that
+    influences simulated behavior or exported results. *)
+
+val now_s : unit -> float
+(** Wall-clock seconds since the epoch. *)
+
+val wall_timed : (unit -> 'a) -> 'a * float
+(** [wall_timed f] runs [f] and returns its result with the elapsed
+    wall-clock seconds. *)

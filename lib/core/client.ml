@@ -151,10 +151,9 @@ let rw_sets_by_shard h =
       let _, writes = touch (Cluster.shard_of_key t.cluster k) in
       writes := (k, Hashtbl.find h.buffer k) :: !writes)
     (List.rev h.write_order);
-  Hashtbl.fold
-    (fun shard (reads, writes) acc ->
-      (shard, { Kv.reads = !reads; writes = !writes }) :: acc)
-    tbl []
+  Glassdb_util.Det.sorted_bindings ~cmp:Int.compare tbl
+  |> List.map (fun (shard, (reads, writes)) ->
+         (shard, { Kv.reads = !reads; writes = !writes }))
 
 (* Fan an RPC out to several shards and join all answers (None on any
    timeout). *)
@@ -375,8 +374,9 @@ let flush_verifications t ?(force = false) () =
         Hashtbl.replace by_shard s
           (p :: Option.value ~default:[] (Hashtbl.find_opt by_shard s)))
       due;
-    Hashtbl.fold
-      (fun shard ps acc ->
+    Glassdb_util.Det.sorted_bindings ~cmp:Int.compare by_shard
+    |> List.fold_left
+      (fun acc (shard, ps) ->
         let from = t.digests.(shard) in
         let started = Sim.now () in
         let reply =
@@ -436,8 +436,13 @@ let flush_verifications t ?(force = false) () =
                          with
                          | None -> false
                          | Some bp ->
-                           Ledger.batch_proof_value bp p.promise.Node.pr_key
-                           = Some (Some p.promise.Node.pr_value))
+                           (match
+                              Ledger.batch_proof_value bp
+                                p.promise.Node.pr_key
+                            with
+                            | Some (Some v) ->
+                              String.equal v p.promise.Node.pr_value
+                            | Some None | None -> false))
                        ready)
             in
             if not ok then t.failures <- t.failures + 1;
@@ -447,5 +452,5 @@ let flush_verifications t ?(force = false) () =
               v_keys = List.length ready }
             :: acc
           end)
-      by_shard []
+      []
   end

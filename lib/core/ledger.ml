@@ -48,7 +48,7 @@ type digest = { block_no : int; root : Hash.t; head : Hash.t }
 let genesis = { block_no = -1; root = Hash.empty; head = Hash.empty }
 
 let digest_equal a b =
-  a.block_no = b.block_no && Hash.equal a.root b.root && Hash.equal a.head b.head
+  Int.equal a.block_no b.block_no && Hash.equal a.root b.root && Hash.equal a.head b.head
 
 let pp_digest fmt d =
   Format.fprintf fmt "#%d:%s" d.block_no (Hash.short d.root)
@@ -175,7 +175,7 @@ let append_block t ~time ~writes ~txns =
     latest = block_no }
 
 let state_at t block =
-  if block = t.latest then Some t.states
+  if Int.equal block t.latest then Some t.states
   else
     match IMap.find_opt block t.snapshots with
     | Some st -> Some st
@@ -314,7 +314,7 @@ let verify_inclusion ~digest ~key ~value p =
   with
   | exception _ -> false
   | header ->
-    header.block_no = p.p_block
+    Int.equal header.block_no p.p_block
     && p.p_block <= digest.block_no
     && Pos_tree.verify ~root:digest.root ~key:(block_key p.p_block)
          ~value:(Some p.p_header) p.p_upper
@@ -330,7 +330,7 @@ let verify_inclusion ~digest ~key ~value p =
         | exception _ -> false))
 
 let verify_current ~digest ~key ~value p =
-  p.p_block = digest.block_no
+  Int.equal p.p_block digest.block_no
   && Hash.equal (Hash.of_string p.p_header) digest.head
   && verify_inclusion ~digest ~key ~value p
 
@@ -390,7 +390,7 @@ let verify_inclusion_batch ~digest p =
   match Codec.of_string decode_header p.bp_header with
   | exception _ -> false
   | header ->
-    header.block_no = p.bp_block
+    Int.equal header.block_no p.bp_block
     && p.bp_block <= digest.block_no
     && Pos_tree.verify ~root:digest.root ~key:(block_key p.bp_block)
          ~value:(Some p.bp_header) p.bp_upper
@@ -455,7 +455,7 @@ let verify_scan ~digest ~lo ~hi ~rows p =
   match Codec.of_string decode_header p.sp_header with
   | exception _ -> false
   | header ->
-    header.block_no = p.sp_block
+    Int.equal header.block_no p.sp_block
     && p.sp_block <= digest.block_no
     && Pos_tree.verify ~root:digest.root ~key:(block_key p.sp_block)
          ~value:(Some p.sp_header) p.sp_upper
@@ -467,7 +467,7 @@ let verify_scan ~digest ~lo ~hi ~rows p =
      | Some certified ->
        (* The certified bindings carry encoded payloads; decode and compare
           with the claimed rows, key by key. *)
-       List.length certified = List.length rows
+       Int.equal (List.length certified) (List.length rows)
        && List.for_all2
             (fun (ck, payload) (rk, rv) ->
               String.equal ck rk
@@ -500,7 +500,7 @@ let append_proof_size_bytes p =
   String.length (Codec.to_string encode_append_proof p)
 
 let prove_append_only t ~old_block =
-  if old_block = t.latest || old_block < 0 then Same_digest
+  if Int.equal old_block t.latest || old_block < 0 then Same_digest
   else
     match header_at t old_block with
     | None -> invalid_arg "Ledger.prove_append_only: no such block"
@@ -514,7 +514,7 @@ let verify_append_only ~old_digest ~new_digest proof =
   else if old_digest.block_no < 0 then
     (* Anything extends the empty ledger. *)
     proof = Same_digest
-  else if old_digest.block_no = new_digest.block_no then
+  else if Int.equal old_digest.block_no new_digest.block_no then
     proof = Same_digest && digest_equal old_digest new_digest
   else
     match proof with

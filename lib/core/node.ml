@@ -135,7 +135,7 @@ let note_phase t phase v =
        ~labels:(("phase", phase) :: t.labels) ())
     v
 
-let phase_stats t = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.stats []
+let phase_stats t = Det.sorted_bindings ~cmp:String.compare t.stats
 
 let commit_count t = t.commits
 let abort_count t = t.aborts
@@ -184,7 +184,7 @@ let parse_wal_commit payload =
 
 let block_of_writes t ~now writes =
   let tids =
-    List.sort_uniq compare (List.map (fun (_, _, tid) -> tid) writes)
+    List.sort_uniq String.compare (List.map (fun (_, _, tid) -> tid) writes)
   in
   let txns = List.filter_map (Hashtbl.find_opt t.signed) tids in
   let block_writes =
@@ -417,8 +417,7 @@ let get_proofs t promises ~from =
            :: Option.value ~default:[] (Hashtbl.find_opt by_block p.pr_block)))
     promises;
   let proofs =
-    Hashtbl.fold (fun b ks acc -> (b, ks) :: acc) by_block []
-    |> List.sort (fun (a, _) (b, _) -> compare a b)
+    Det.sorted_bindings ~cmp:Int.compare by_block
     |> List.map (fun (b, ks) -> Ledger.prove_inclusion_batch t.ledger ks ~block:b)
   in
   let appendp =

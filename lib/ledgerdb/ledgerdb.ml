@@ -87,7 +87,7 @@ module Node = struct
     in
     Stats.add s v
 
-  let phase_stats t = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.stats []
+  let phase_stats t = Det.sorted_bindings ~cmp:String.compare t.stats
   let commit_count t = t.commits
   let abort_count t = t.aborts
 
@@ -102,7 +102,7 @@ module Node = struct
 
   let push arr_ref count v =
     let arr = !arr_ref in
-    if count = Array.length arr then begin
+    if Int.equal count (Array.length arr) then begin
       let na = Array.make (max 64 (2 * count)) "" in
       Array.blit arr 0 na 0 count;
       arr_ref := na
@@ -189,7 +189,7 @@ module Node = struct
       done;
       if !folded > 0 then begin
         (* Refresh the dirty clue counts in the ccMPT. *)
-        let dirty = List.sort_uniq compare t.dirty_clues in
+        let dirty = List.sort_uniq String.compare t.dirty_clues in
         t.dirty_clues <- [];
         t.ccmpt <-
           Mpt.set_batch t.ccmpt
@@ -288,7 +288,7 @@ module Node = struct
     (* 1. ccMPT certifies the clue count. *)
     Mpt.verify ~root:d.d_ccmpt ~key ~value:(Some (string_of_int p.lp_count))
       p.lp_ccmpt
-    && List.length p.lp_clues = p.lp_count
+    && Int.equal (List.length p.lp_clues) p.lp_count
     && p.lp_count > 0
     (* 2. Every clue entry is in the bAMT and mentions the key; the last
           one binds the claimed current value. *)

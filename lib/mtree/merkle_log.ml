@@ -11,7 +11,7 @@ let create () = { leaves = [||]; len = 0; memo = Hashtbl.create 256 }
 let size t = t.len
 
 let append t data =
-  if t.len = Array.length t.leaves then begin
+  if Int.equal t.len (Array.length t.leaves) then begin
     let ncap = max 64 (2 * t.len) in
     let na = Array.make ncap Hash.empty in
     Array.blit t.leaves 0 na 0 t.len;
@@ -88,7 +88,7 @@ let verify_inclusion ~root ~size ~index ~leaf proof =
       (fun c ->
         if !sn = 0 then ok := false
         else begin
-          if !fn land 1 = 1 || !fn = !sn then begin
+          if !fn land 1 = 1 || Int.equal !fn !sn then begin
             r := Hash.interior c !r;
             if !fn land 1 = 0 then
               while !fn <> 0 && !fn land 1 = 0 do
@@ -107,11 +107,11 @@ let verify_inclusion ~root ~size ~index ~leaf proof =
 let consistency_proof t ~old_size ~new_size =
   if old_size < 0 || old_size > new_size || new_size > t.len then
     invalid_arg "Merkle_log.consistency_proof";
-  if old_size = new_size || old_size = 0 then []
+  if Int.equal old_size new_size || old_size = 0 then []
   else begin
     (* SUBPROOF(m, D[lo:hi], b) from RFC 6962 2.1.4.1. *)
     let rec subproof m lo hi b =
-      if lo + m = hi then if b then [] else [ subtree t lo hi ]
+      if Int.equal (lo + m) hi then if b then [] else [ subtree t lo hi ]
       else begin
         let k = split_point (hi - lo) in
         if m <= k then subproof m lo (lo + k) b @ [ subtree t (lo + k) hi ]
@@ -124,7 +124,7 @@ let consistency_proof t ~old_size ~new_size =
 let verify_consistency ~old_root ~old_size ~new_root ~new_size proof =
   if old_size < 0 || old_size > new_size then false
   else if old_size = 0 then proof = [] && Hash.equal old_root Hash.empty
-  else if old_size = new_size then
+  else if Int.equal old_size new_size then
     proof = [] && Hash.equal old_root new_root
   else begin
     (* RFC 6962 2.1.4.2. *)
@@ -143,7 +143,7 @@ let verify_consistency ~old_root ~old_size ~new_root ~new_size proof =
         (fun c ->
           if !sn = 0 then ok := false
           else begin
-            if !fn land 1 = 1 || !fn = !sn then begin
+            if !fn land 1 = 1 || Int.equal !fn !sn then begin
               fr := Hash.interior c !fr;
               sr := Hash.interior c !sr;
               if !fn land 1 = 0 then

@@ -127,12 +127,13 @@ let cardinal t = t.count
 let rec strip_prefix pre path =
   match (pre, path) with
   | [], rest -> Some rest
-  | p :: pre', q :: path' when p = q -> strip_prefix pre' path'
+  | p :: pre', q :: path' when Int.equal p q -> strip_prefix pre' path'
   | _ -> None
 
 let rec get_node node path =
   match node with
-  | Leaf { suffix; value; _ } -> if suffix = path then Some value else None
+  | Leaf { suffix; value; _ } ->
+    if List.equal Int.equal suffix path then Some value else None
   | Ext { prefix; child; _ } ->
     (match strip_prefix prefix path with
      | Some rest -> get_node child rest
@@ -153,7 +154,7 @@ let get t key =
 let common_prefix a b =
   let rec go acc a b =
     match (a, b) with
-    | x :: a', y :: b' when x = y -> go (x :: acc) a' b'
+    | x :: a', y :: b' when Int.equal x y -> go (x :: acc) a' b'
     | _ -> (List.rev acc, a, b)
   in
   go [] a b
@@ -161,7 +162,7 @@ let common_prefix a b =
 let rec set_node st node path value =
   match node with
   | Leaf { suffix; value = v0; _ } ->
-    if suffix = path then mk_leaf st path value
+    if List.equal Int.equal suffix path then mk_leaf st path value
     else begin
       let pre, rest_old, rest_new = common_prefix suffix path in
       let children = Array.make 16 None in
@@ -293,7 +294,8 @@ let verify ~root ~key ~value proof =
       else begin
         match parse s with
         | P_leaf (suffix, v) ->
-          if suffix = path then rest = [] && value = Some v
+          if List.equal Int.equal suffix path then
+            rest = [] && Option.equal String.equal value (Some v)
           else rest = [] && value = None
         | P_ext (prefix, child) ->
           (match strip_prefix prefix path with
@@ -301,7 +303,7 @@ let verify ~root ~key ~value proof =
            | None -> rest = [] && value = None)
         | P_branch (children, v) ->
           (match path with
-           | [] -> rest = [] && value = v
+           | [] -> rest = [] && Option.equal String.equal value v
            | n :: rest_path ->
              (match children.(n) with
               | None -> rest = [] && value = None

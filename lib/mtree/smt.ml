@@ -42,7 +42,7 @@ let path_of_key t key =
   for i = 0 to 7 do
     p := Int64.logor (Int64.shift_left !p 8) (Int64.of_int (Char.code h.[i]))
   done;
-  if t.tree_depth = max_depth then !p
+  if Int.equal t.tree_depth max_depth then !p
   else Int64.shift_right_logical !p (max_depth - t.tree_depth)
 
 (* Bit of [path] at level [d] counted from the root: the most significant of
@@ -103,7 +103,7 @@ let rec set_node t node path leaf d =
     if d >= t.tree_depth then failwith "Smt: depth exhausted"
     else begin
       let new_goes_right = bit t path d and old_goes_right = bit t l.path d in
-      if new_goes_right = old_goes_right then begin
+      if Bool.equal new_goes_right old_goes_right then begin
         let child = set_node t node path leaf (d + 1) in
         if new_goes_right then mk_node t d Empty child
         else mk_node t d child Empty
@@ -245,7 +245,8 @@ let verify_absent ~root ~key proof =
         let rpath = path_of_key t k in
         let ok = ref (not (String.equal k key)) in
         for level = 0 to proof.a_stop - 1 do
-          if bit t rpath level <> bit t path level then ok := false
+          if not (Bool.equal (bit t rpath level) (bit t path level)) then
+            ok := false
         done;
         !ok
     in

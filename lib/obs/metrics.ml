@@ -71,9 +71,9 @@ let histogram ~name ?(labels = []) () =
 let observe h v = Lhist.add h v
 
 let sample_gauges now =
-  (* Deterministic scrape order (sorted keys), though sampling is
-     insertion-order independent anyway: each gauge only touches itself. *)
-  Hashtbl.iter
+  (* Sampling is insertion-order independent: each gauge only touches
+     itself, so an unordered walk is safe. *)
+  Det.unordered_iter
     (fun _ m ->
       match m with
       | Gauge g ->
@@ -105,9 +105,18 @@ type value =
 
 type entry = { e_name : string; e_labels : labels; e_value : value }
 
+let compare_labels =
+  List.compare (fun (k1, v1) (k2, v2) ->
+      match String.compare k1 k2 with
+      | 0 -> String.compare v1 v2
+      | c -> c)
+
+let compare_key (n1, l1) (n2, l2) =
+  match String.compare n1 n2 with 0 -> compare_labels l1 l2 | c -> c
+
 let snapshot () =
-  Hashtbl.fold
-    (fun (name, labels) m acc ->
+  Det.sorted_bindings ~cmp:compare_key registry
+  |> List.map (fun ((name, labels), m) ->
       let value =
         match m with
         | Counter c -> Vcounter c.c_value
@@ -122,12 +131,7 @@ let snapshot () =
               h_p99 = Lhist.percentile h 0.99;
               h_buckets = Lhist.buckets h }
       in
-      { e_name = name; e_labels = labels; e_value = value } :: acc)
-    registry []
-  |> List.sort (fun a b ->
-         match String.compare a.e_name b.e_name with
-         | 0 -> compare a.e_labels b.e_labels
-         | c -> c)
+      { e_name = name; e_labels = labels; e_value = value })
 
 let fq_name e =
   match e.e_labels with

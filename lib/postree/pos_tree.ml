@@ -233,14 +233,16 @@ let leaf_patches lv updates =
   let sorted =
     List.sort
       (fun a b ->
-        match compare a.start b.start with
-        | 0 -> compare a.stop b.stop
+        match Int.compare a.start b.start with
+        | 0 -> Int.compare a.stop b.stop
         | c -> c)
       raw
   in
   (* Coalesce insertions sharing a position, keeping key order. *)
   let rec coalesce = function
-    | a :: b :: rest when a.start = b.start && a.stop = a.start && b.stop = b.start ->
+    | a :: b :: rest
+      when Int.equal a.start b.start && Int.equal a.stop a.start
+           && Int.equal b.stop b.start ->
       let merged =
         List.sort
           (fun x y ->
@@ -380,10 +382,7 @@ let insert_batch t updates =
     (* Deduplicate keys, last write wins, then sort. *)
     let tbl = Hashtbl.create (List.length updates) in
     List.iter (fun (k, v) -> Hashtbl.replace tbl k v) updates;
-    let updates =
-      Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
-      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
-    in
+    let updates = Det.sorted_bindings ~cmp:String.compare tbl in
     if is_empty t then
       of_sorted_items t.cfg
         (Array.of_list
@@ -458,7 +457,8 @@ let load cfg root =
           in
           let fetched = Array.map fetch child_hashes in
           let child_leaf = fst fetched.(0) in
-          if not (Array.for_all (fun (l, _) -> l = child_leaf) fetched) then
+          if not (Array.for_all (fun (l, _) -> Bool.equal l child_leaf) fetched)
+          then
             raise Load_failure;
           down (lv :: acc) ~leaf:child_leaf (Array.map snd fetched)
         end
@@ -519,7 +519,7 @@ let verify ~root ~key ~value proof =
            if not (Hash.equal (chunk_hash ~leaf items) expected) then false
            else if leaf then
              (* Leaf chunk: must be the last element of the proof. *)
-             rest = [] && find_leaf items key = value
+             rest = [] && Option.equal String.equal (find_leaf items key) value
            else begin
              let idx = route_index items key in
              walk (Chunker.item_payload items.(idx)) rest
@@ -570,7 +570,7 @@ let prove_batch t keys =
             (fun acc k ->
               let idx = route_index chunk.items k in
               match acc with
-              | (i, ks') :: rest when i = idx -> (i, k :: ks') :: rest
+              | (i, ks') :: rest when Int.equal i idx -> (i, k :: ks') :: rest
               | _ -> (idx, [ k ]) :: acc)
             [] ks
           |> List.rev_map (fun (i, ks') -> (i, List.rev ks'))
@@ -613,7 +613,9 @@ let verify_batch ~root ~items proof =
                  let idx = route_index its key in
                  lookup (Chunker.item_payload its.(idx))
              in
-             lookup root = Some value)
+             match lookup root with
+             | Some v -> Option.equal String.equal v value
+             | None -> false)
            items
 
 (* --- verifiable range queries --- *)
@@ -718,7 +720,10 @@ let extract_range ~root ~lo ~hi proof =
 
 let verify_range ~root ~lo ~hi ~bindings proof =
   match extract_range ~root ~lo ~hi proof with
-  | Some certified -> certified = bindings
+  | Some certified ->
+    List.equal
+      (fun (k1, v1) (k2, v2) -> String.equal k1 k2 && String.equal v1 v2)
+      certified bindings
   | None -> false
 
 let stats_nodes t =

@@ -67,7 +67,7 @@ module Node = struct
     in
     Stats.add s v
 
-  let phase_stats t = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.stats []
+  let phase_stats t = Det.sorted_bindings ~cmp:String.compare t.stats
   let commit_count t = t.commits
   let abort_count t = t.aborts
 
@@ -81,7 +81,7 @@ module Node = struct
 
   let push arr_ref count v =
     let arr = !arr_ref in
-    if count = Array.length arr then begin
+    if Int.equal count (Array.length arr) then begin
       let na = Array.make (max 64 (2 * count)) "" in
       Array.blit arr 0 na 0 count;
       arr_ref := na
@@ -92,7 +92,7 @@ module Node = struct
      prefixes of each key, concatenated.  A scanning verifier checks exact
      non-membership of its key at 8 bytes per written key. *)
   let keys_fingerprint keys =
-    List.sort compare keys
+    List.sort String.compare keys
     |> List.map (fun k -> String.sub (Hash.of_string k) 0 8)
     |> String.concat ""
 
@@ -219,7 +219,7 @@ module Node = struct
         writes
       && Merkle_log.verify_inclusion ~root:d.root ~size:d.size ~index:p.cp_seq
            ~leaf:p.cp_entry p.cp_inclusion
-      && List.length p.cp_scan = d.size - p.cp_seq - 1
+      && Int.equal (List.length p.cp_scan) (d.size - p.cp_seq - 1)
       && (* No later entry's key set may contain the key: check the 8-byte
             hash prefix against every fingerprint group. *)
       (let prefix = String.sub (Hash.of_string key) 0 8 in

@@ -87,7 +87,7 @@ let last_index r = r.log_len - 1
 let last_term r = if r.log_len = 0 then 0 else r.log.(r.log_len - 1).term
 
 let append_local r e =
-  if r.log_len = Array.length r.log then begin
+  if Int.equal r.log_len (Array.length r.log) then begin
     let na = Array.make (2 * r.log_len) e in
     Array.blit r.log 0 na 0 r.log_len;
     r.log <- na
@@ -120,19 +120,21 @@ let rec send g ~to_ msg =
       if g.running && r.alive then handle g r msg)
 
 and broadcast g ~from msg =
-  Array.iter (fun r -> if r.id <> from then send g ~to_:r.id msg) g.replicas
+  Array.iter (fun r -> if not (Int.equal r.id from) then send g ~to_:r.id msg) g.replicas
 
 and handle g r msg =
   match msg with
   | Request_vote { term; candidate; last_index = li; last_term = lt } ->
     if term > r.term then become_follower r term;
     let up_to_date =
-      lt > last_term r || (lt = last_term r && li >= last_index r)
+      lt > last_term r || (Int.equal lt (last_term r) && li >= last_index r)
     in
     let granted =
-      term = r.term
+      Int.equal term r.term
       && up_to_date
-      && (match r.voted_for with None -> true | Some c -> c = candidate)
+      && (match r.voted_for with
+          | None -> true
+          | Some c -> Int.equal c candidate)
     in
     if granted then begin
       r.voted_for <- Some candidate;
@@ -141,7 +143,7 @@ and handle g r msg =
     send g ~to_:candidate (Vote_reply { term = r.term; granted })
   | Vote_reply { term; granted } ->
     if term > r.term then become_follower r term
-    else if r.role = Candidate && term = r.term && granted then begin
+    else if r.role = Candidate && Int.equal term r.term && granted then begin
       r.votes <- r.votes + 1;
       if r.votes > Array.length g.replicas / 2 then begin
         r.role <- Leader;
@@ -152,7 +154,7 @@ and handle g r msg =
       end
     end
   | Append_entries { term; leader; prev_index; prev_term; entries; leader_commit } ->
-    if term > r.term || (term = r.term && r.role <> Follower) then
+    if term > r.term || (Int.equal term r.term && r.role <> Follower) then
       become_follower r term;
     if term < r.term then
       send g ~to_:leader
@@ -161,7 +163,7 @@ and handle g r msg =
       r.last_heartbeat <- Sim.now ();
       let prev_ok =
         prev_index < 0
-        || (prev_index < r.log_len && r.log.(prev_index).term = prev_term)
+        || (prev_index < r.log_len && Int.equal r.log.(prev_index).term prev_term)
       in
       if not prev_ok then
         send g ~to_:leader
@@ -171,7 +173,7 @@ and handle g r msg =
         let idx = ref (prev_index + 1) in
         List.iter
           (fun (e : entry) ->
-            if !idx < r.log_len && r.log.(!idx).term <> e.term then
+            if !idx < r.log_len && not (Int.equal r.log.(!idx).term e.term) then
               r.log_len <- !idx;
             if !idx >= r.log_len then append_local r e
             else r.log.(!idx) <- e;
@@ -189,7 +191,7 @@ and handle g r msg =
     end
   | Append_reply { term; from; success; match_index } ->
     if term > r.term then become_follower r term
-    else if r.role = Leader && term = r.term then begin
+    else if r.role = Leader && Int.equal term r.term then begin
       if success then begin
         r.match_index.(from) <- max r.match_index.(from) match_index;
         r.next_index.(from) <- r.match_index.(from) + 1;
@@ -198,7 +200,7 @@ and handle g r msg =
         let n = Array.length g.replicas in
         let candidate = ref r.commit_index in
         for idx = r.commit_index + 1 to last_index r do
-          if r.log.(idx).term = r.term then begin
+          if Int.equal r.log.(idx).term r.term then begin
             let count =
               Array.fold_left
                 (fun acc m -> if m >= idx then acc + 1 else acc)
@@ -220,7 +222,7 @@ and replicate g r =
   (* Send AppendEntries (with any missing suffix) to every peer. *)
   Array.iter
     (fun peer ->
-      if peer.id <> r.id then begin
+      if not (Int.equal peer.id r.id) then begin
         let ni = r.next_index.(peer.id) in
         let prev_index = ni - 1 in
         let prev_term =

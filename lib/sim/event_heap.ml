@@ -9,11 +9,12 @@ let create () = { arr = [||]; len = 0 }
 let is_empty t = t.len = 0
 let size t = t.len
 
-let less a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+let less a b =
+  a.time < b.time || (Float.equal a.time b.time && a.seq < b.seq)
 
 let grow t e =
   let cap = Array.length t.arr in
-  if t.len = cap then begin
+  if Int.equal t.len cap then begin
     let ncap = max 16 (2 * cap) in
     let na = Array.make ncap e in
     Array.blit t.arr 0 na 0 t.len;
@@ -50,7 +51,7 @@ let pop t =
         let smallest = ref !i in
         if l < t.len && less t.arr.(l) t.arr.(!smallest) then smallest := l;
         if r < t.len && less t.arr.(r) t.arr.(!smallest) then smallest := r;
-        if !smallest = !i then continue := false
+        if Int.equal !smallest !i then continue := false
         else begin
           let tmp = t.arr.(!smallest) in
           t.arr.(!smallest) <- t.arr.(!i);

@@ -63,7 +63,7 @@ let find t k =
 let array_insert arr i x =
   let n = Array.length arr in
   Array.init (n + 1) (fun j ->
-      if j < i then arr.(j) else if j = i then x else arr.(j - 1))
+      if j < i then arr.(j) else if Int.equal j i then x else arr.(j - 1))
 
 (* Insert into the subtree; returns a split (separator, right sibling) when
    the node overflowed. *)

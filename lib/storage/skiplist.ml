@@ -74,15 +74,15 @@ let entry n =
 
 let last t =
   let n = search t max_int in
-  if n.seq = min_int then None else Some (entry n)
+  if Int.equal n.seq min_int then None else Some (entry n)
 
 let find t seq =
   let n = search t seq in
-  if n.seq = seq then Option.some (snd (entry n)) else None
+  if Int.equal n.seq seq then Option.some (snd (entry n)) else None
 
 let find_at_or_before t seq =
   let n = search t seq in
-  if n.seq = min_int then None else Some (entry n)
+  if Int.equal n.seq min_int then None else Some (entry n)
 
 let to_list t =
   let rec go acc = function

@@ -65,7 +65,7 @@ let note_phase t phase v =
   in
   Stats.add s v
 
-let phase_stats t = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.stats []
+let phase_stats t = Det.sorted_bindings ~cmp:String.compare t.stats
 let op_count t = t.ops
 let reset_stats t = Hashtbl.reset t.stats; t.ops <- 0
 

@@ -34,14 +34,16 @@ let latest t k =
     end
 
 let pending_keys t =
-  Hashtbl.fold
+  (* Commutative count: iteration order cannot be observed. *)
+  Glassdb_util.Det.unordered_fold
     (fun _ q acc -> if Queue.is_empty q then acc else acc + 1)
     t.table 0
 
 let drain_layer t =
   let out = ref [] in
   let empty_keys = ref [] in
-  Hashtbl.iter
+  (* Per-key mutation with the result sorted below: order-insensitive. *)
+  Glassdb_util.Det.unordered_iter
     (fun k q ->
       match Queue.take_opt q with
       | Some e ->
@@ -62,7 +64,10 @@ let pop_key t k =
 
 
 let max_depth t =
-  Hashtbl.fold (fun _ q acc -> max acc (Queue.length q)) t.table 0
+  (* Commutative max: iteration order cannot be observed. *)
+  Glassdb_util.Det.unordered_fold
+    (fun _ q acc -> max acc (Queue.length q))
+    t.table 0
 
 let is_empty t = pending_keys t = 0
 

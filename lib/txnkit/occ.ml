@@ -29,7 +29,7 @@ let prepare t ~tid ~current_version rw =
   else begin
     let stale =
       List.find_opt
-        (fun (k, ver) -> current_version k <> ver)
+        (fun (k, ver) -> not (Int.equal (current_version k) ver))
         rw.Kv.reads
     in
     let read_locked =
@@ -37,7 +37,7 @@ let prepare t ~tid ~current_version rw =
       List.find_opt
         (fun (k, _) ->
           match Hashtbl.find_opt t.write_locks k with
-          | Some other -> other <> tid
+          | Some other -> not (String.equal other tid)
           | None -> false)
         rw.Kv.reads
     in
@@ -46,7 +46,7 @@ let prepare t ~tid ~current_version rw =
       List.find_opt
         (fun (k, _) ->
           match Hashtbl.find_opt t.write_locks k with
-          | Some other -> other <> tid
+          | Some other -> not (String.equal other tid)
           | None -> false)
         rw.Kv.writes
     in
@@ -73,7 +73,7 @@ let release t tid rw =
   List.iter
     (fun (k, _) ->
       match Hashtbl.find_opt t.write_locks k with
-      | Some owner when owner = tid -> Hashtbl.remove t.write_locks k
+      | Some owner when String.equal owner tid -> Hashtbl.remove t.write_locks k
       | _ -> ())
     rw.Kv.writes;
   List.iter (fun (k, _) -> unmark_read t k) rw.Kv.reads

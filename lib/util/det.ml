@@ -1,0 +1,23 @@
+(* Deterministic drains for hash tables.
+
+   Hashtbl iteration order depends on the hash function and insertion
+   history, so any result that feeds hashing, serialization, or exported
+   output must not be built with a bare Hashtbl.iter/fold — glassdb-lint
+   rule D003 rejects those.  This module is the sanctioned alternative:
+   [sorted_bindings]/[sorted_keys] for anything whose order can be
+   observed, and [unordered_fold]/[unordered_iter] as the explicitly
+   named escape hatch for commutative accumulation (counting, max,
+   per-entry mutation) where order provably cannot matter.  The one
+   D003 annotation below is the single place the project touches raw
+   hashtable iteration. *)
+
+let unordered_fold f h init = (Hashtbl.fold [@glassdb.lint.allow "D003"]) f h init
+
+let unordered_iter f h = (Hashtbl.iter [@glassdb.lint.allow "D003"]) f h
+
+let sorted_bindings ~cmp h =
+  unordered_fold (fun k v acc -> (k, v) :: acc) h []
+  |> List.sort (fun (a, _) (b, _) -> cmp a b)
+
+let sorted_keys ~cmp h =
+  unordered_fold (fun k _ acc -> k :: acc) h [] |> List.sort cmp

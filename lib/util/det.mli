@@ -1,0 +1,20 @@
+(** Deterministic drains for hash tables (the sanctioned alternative to
+    bare [Hashtbl.iter]/[Hashtbl.fold], which glassdb-lint rule D003
+    rejects: iteration order must never leak into hashing,
+    serialization, or exported output). *)
+
+val sorted_bindings : cmp:('k -> 'k -> int) -> ('k, 'v) Hashtbl.t -> ('k * 'v) list
+(** All bindings ordered by [cmp] on the key.  With multi-bindings
+    (Hashtbl.add shadowing) every binding is returned; equal keys keep
+    newest-first order. *)
+
+val sorted_keys : cmp:('k -> 'k -> int) -> ('k, _) Hashtbl.t -> 'k list
+(** All keys ordered by [cmp] (one per binding). *)
+
+val unordered_fold : ('k -> 'v -> 'acc -> 'acc) -> ('k, 'v) Hashtbl.t -> 'acc -> 'acc
+(** Raw [Hashtbl.fold].  Only for commutative accumulation (counts,
+    max, sum) or per-entry effects where order provably cannot be
+    observed; calling this documents that claim at the call site. *)
+
+val unordered_iter : ('k -> 'v -> unit) -> ('k, 'v) Hashtbl.t -> unit
+(** Raw [Hashtbl.iter], under the same contract as [unordered_fold]. *)

@@ -79,7 +79,7 @@ let percentile t p =
     in
     let rec find i cum =
       let cum = cum + t.counts.(i) in
-      if cum >= target || i = n_buckets t - 1 then i else find (i + 1) cum
+      if cum >= target || i >= n_buckets t - 1 then i else find (i + 1) cum
     in
     let b = find 0 0 in
     Float.max t.min_v (Float.min t.max_v (bucket_hi t b))
@@ -95,8 +95,9 @@ let buckets t =
 
 let merge a b =
   if
-    a.lo <> b.lo || a.growth <> b.growth
-    || Array.length a.counts <> Array.length b.counts
+    (not (Float.equal a.lo b.lo))
+    || (not (Float.equal a.growth b.growth))
+    || not (Int.equal (Array.length a.counts) (Array.length b.counts))
   then invalid_arg "Lhist.merge: incompatible geometries";
   let t =
     { a with

@@ -129,9 +129,10 @@ let hist_add h time =
 let hist_buckets h =
   if Hashtbl.length h.buckets = 0 then []
   else begin
-    let keys = Hashtbl.fold (fun k _ acc -> k :: acc) h.buckets [] in
-    let lo = List.fold_left min (List.hd keys) keys in
-    let hi = List.fold_left max (List.hd keys) keys in
+    match Det.sorted_keys ~cmp:Int.compare h.buckets with
+    | [] -> []
+    | lo :: rest ->
+    let hi = List.fold_left (fun _ k -> k) lo rest in
     List.init (hi - lo + 1) (fun i ->
         let b = lo + i in
         let n = Option.value ~default:0 (Hashtbl.find_opt h.buckets b) in

@@ -24,7 +24,9 @@ let sub a b =
     page_reads = a.page_reads - b.page_reads;
     cache_hits = a.cache_hits - b.cache_hits }
 
-let is_zero c = c = zero
+let is_zero c =
+  c.hashes = 0 && c.node_writes = 0 && c.bytes_written = 0
+  && c.page_reads = 0 && c.cache_hits = 0
 
 let state = ref zero
 
@@ -108,5 +110,5 @@ let with_component comp f =
   end
 
 let attribution () =
-  Hashtbl.fold (fun comp cell acc -> (comp, !cell) :: acc) attributed []
-  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  Det.sorted_bindings ~cmp:String.compare attributed
+  |> List.map (fun (comp, cell) -> (comp, !cell))

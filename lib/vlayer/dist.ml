@@ -143,10 +143,9 @@ module Make (N : NODE) = struct
           let _, writes = touch (shard_of_key t k) in
           writes := (k, Hashtbl.find h.buffer k) :: !writes)
         (List.rev h.write_order);
-      Hashtbl.fold
-        (fun shard (reads, writes) acc ->
-          (shard, { Kv.reads = !reads; writes = !writes }) :: acc)
-        tbl []
+      Glassdb_util.Det.sorted_bindings ~cmp:Int.compare tbl
+      |> List.map (fun (shard, (reads, writes)) ->
+             (shard, { Kv.reads = !reads; writes = !writes }))
 
     let fan_out t calls =
       let ivs =

@@ -1,0 +1,3 @@
+; Grants exercised by the lint fixture suite.
+((file "d001_file_sup.ml") (rule "D001") (reason "fixture: whole-file grant"))
+((file "h001_sup/") (rule "H001") (reason "fixture: directory grant"))

@@ -1,0 +1,2 @@
+(* Fixture: D001 suppressed by a whole-file grant in allow_fixture.sexp. *)
+let elapsed () = Unix.gettimeofday ()

@@ -1,0 +1,2 @@
+(* Fixture: D001 negative — virtual time only. *)
+let elapsed now t0 = now -. t0

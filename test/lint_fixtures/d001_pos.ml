@@ -1,0 +1,2 @@
+(* Fixture: D001 positive — ambient wall-clock read. *)
+let elapsed () = Unix.gettimeofday ()

@@ -1,0 +1,2 @@
+(* Fixture: D001 suppressed by an inline expression attribute. *)
+let elapsed () = (Unix.gettimeofday [@glassdb.lint.allow "D001"]) ()

@@ -1,0 +1,2 @@
+(* Fixture: D002 negative — explicitly threaded Random.State. *)
+let roll st = Random.State.int st 6

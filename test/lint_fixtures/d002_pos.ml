@@ -1,0 +1,2 @@
+(* Fixture: D002 positive — global Random state. *)
+let roll () = Random.int 6

@@ -1,0 +1,4 @@
+(* Fixture: D002 suppressed by a floating module-level attribute. *)
+[@@@glassdb.lint.allow "D002"]
+
+let seed () = Random.self_init ()

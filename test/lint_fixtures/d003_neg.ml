@@ -1,0 +1,2 @@
+(* Fixture: D003 negative — point lookups only. *)
+let lookup h k = Hashtbl.find_opt h k

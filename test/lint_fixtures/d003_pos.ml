@@ -1,0 +1,2 @@
+(* Fixture: D003 positive — unordered fold whose result escapes. *)
+let keys h = Hashtbl.fold (fun k _ acc -> k :: acc) h []

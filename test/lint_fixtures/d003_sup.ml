@@ -1,0 +1,3 @@
+(* Fixture: D003 suppressed by a value-binding attribute. *)
+let count h = Hashtbl.fold (fun _ _ n -> n + 1) h 0
+  [@@glassdb.lint.allow "D003"]

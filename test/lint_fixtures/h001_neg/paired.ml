@@ -1,0 +1,2 @@
+(* Fixture: H001 negative — module with an interface. *)
+let answer = 42

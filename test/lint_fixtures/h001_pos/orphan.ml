@@ -1,0 +1,2 @@
+(* Fixture: H001 positive — module without an interface. *)
+let answer = 42

@@ -1,0 +1,2 @@
+(* Fixture: H001 suppressed by a directory grant in allow_fixture.sexp. *)
+let answer = 42

@@ -1,0 +1,4 @@
+(* Fixture: S001 negative — type-specific comparisons, literal operands. *)
+let smallest l = List.sort String.compare l
+let is_origin x = x = 0
+let same a b = String.equal a b

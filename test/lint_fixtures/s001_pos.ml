@@ -1,0 +1,3 @@
+(* Fixture: S001 positive — polymorphic compare and equality. *)
+let smallest l = List.sort compare l
+let same a b = a = b

@@ -1,0 +1,2 @@
+(* Fixture: S001 suppressed by an inline expression attribute. *)
+let same a b = (a = b) [@glassdb.lint.allow "S001"]

@@ -1,0 +1,3 @@
+(* Fixture: S002 negative — total variants. *)
+let first = function [] -> None | x :: _ -> Some x
+let force ~default o = Option.value ~default o

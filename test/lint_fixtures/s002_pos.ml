@@ -1,0 +1,3 @@
+(* Fixture: S002 positive — partial stdlib functions. *)
+let first l = List.hd l
+let force o = Option.get o

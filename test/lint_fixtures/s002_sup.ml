@@ -1,0 +1,2 @@
+(* Fixture: S002 suppressed by an inline expression attribute. *)
+let first l = (List.hd [@glassdb.lint.allow "S002"]) l

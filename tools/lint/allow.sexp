@@ -1,0 +1,13 @@
+; glassdb-lint whole-file grants.
+;
+; Each entry suppresses one rule for one file (exact repo-relative path),
+; a directory (path ending in "/"), or a basename.  Prefer the inline
+; [@glassdb.lint.allow "RULE"] attribute next to the offending
+; expression — file-level grants are for generated or third-party code
+; where annotating every site is noise.  Every entry must carry a reason.
+;
+; Format:
+;   ((file "bench/foo.ml") (rule "D001") (reason "why this is exempt"))
+;
+; No grants are currently needed: the single sanctioned wall-clock read
+; lives in lib/benchkit/wallclock.ml behind an inline annotation.

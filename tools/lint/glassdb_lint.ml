@@ -1,0 +1,118 @@
+(* Command-line driver for glassdb-lint.
+
+     glassdb_lint --root . --allow tools/lint/allow.sexp   # whole tree
+     glassdb_lint --json ...                               # machine output
+     glassdb_lint --selftest test/lint_fixtures            # fixture check
+     glassdb_lint file.ml ...                              # specific files
+
+   Exit codes: 0 clean, 1 findings (or failed fixtures), 2 usage or
+   unreadable input. *)
+
+let usage () =
+  prerr_endline
+    "usage: glassdb_lint [--json] [--root DIR] [--allow FILE] \
+     [--scope lib|bench] [--selftest DIR] [--rules] [FILE...]";
+  exit 2
+
+let () =
+  let json = ref false in
+  let root = ref "." in
+  let allow = ref None in
+  let selftest = ref None in
+  let scope = ref Lint_engine.Lib in
+  let files = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--json" :: rest ->
+      json := true;
+      parse rest
+    | "--root" :: dir :: rest ->
+      root := dir;
+      parse rest
+    | "--allow" :: file :: rest ->
+      allow := Some file;
+      parse rest
+    | "--selftest" :: dir :: rest ->
+      selftest := Some dir;
+      parse rest
+    | "--scope" :: s :: rest ->
+      (match s with
+       | "lib" -> scope := Lint_engine.Lib
+       | "bench" -> scope := Lint_engine.Bench
+       | _ -> usage ());
+      parse rest
+    | "--rules" :: _ ->
+      List.iter
+        (fun (id, doc) -> Printf.printf "%s  %s\n" id doc)
+        Lint_engine.rules;
+      exit 0
+    | arg :: _ when String.length arg > 1 && arg.[0] = '-' -> usage ()
+    | file :: rest ->
+      files := file :: !files;
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  match !selftest with
+  | Some dir ->
+    let results = Lint_engine.run_fixtures ~dir in
+    if results = [] then begin
+      Printf.eprintf "lint selftest: no fixtures found in %s\n" dir;
+      exit 2
+    end;
+    let failed = List.filter (fun r -> not r.Lint_engine.x_ok) results in
+    List.iter
+      (fun r ->
+        Printf.printf "%-24s %s%s\n" r.Lint_engine.x_name
+          (if r.Lint_engine.x_ok then "ok" else "FAIL: ")
+          (if r.Lint_engine.x_ok then "" else r.Lint_engine.x_detail))
+      results;
+    Printf.printf "lint selftest: %d fixture(s), %d failure(s)\n"
+      (List.length results) (List.length failed);
+    exit (if failed = [] then 0 else 1)
+  | None ->
+    let grants =
+      match !allow with
+      | Some file ->
+        (try Lint_engine.load_grants file
+         with Failure msg ->
+           prerr_endline msg;
+           exit 2)
+      | None -> []
+    in
+    let report =
+      match !files with
+      | [] -> Lint_engine.scan ~root:!root ~grants
+      | files ->
+        let reports =
+          List.map
+            (fun f ->
+              if not (Sys.file_exists f) then begin
+                Printf.eprintf "glassdb_lint: no such file %s\n" f;
+                exit 2
+              end;
+              Lint_engine.lint_file ~scope:!scope f)
+            (List.rev files)
+        in
+        Lint_engine.apply_grants grants
+          { r_findings =
+              Lint_engine.sort_findings
+                (List.concat_map (fun r -> r.Lint_engine.r_findings) reports);
+            r_suppressed =
+              Lint_engine.sort_findings
+                (List.concat_map (fun r -> r.Lint_engine.r_suppressed) reports)
+          }
+    in
+    if !json then print_endline (Lint_json.report_to_json report)
+    else begin
+      List.iter
+        (fun f ->
+          Printf.printf "%s:%d:%d [%s] %s\n" f.Lint_engine.f_file
+            f.Lint_engine.f_line f.Lint_engine.f_col f.Lint_engine.f_rule
+            f.Lint_engine.f_msg)
+        report.Lint_engine.r_findings;
+      let nf = List.length report.Lint_engine.r_findings in
+      let ns = List.length report.Lint_engine.r_suppressed in
+      if nf > 0 || ns > 0 then
+        Printf.printf "glassdb-lint: %d finding(s), %d suppressed\n" nf ns
+    end;
+    exit (if report.Lint_engine.r_findings = [] then 0 else 1)
