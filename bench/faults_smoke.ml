@@ -1,0 +1,23 @@
+(* faults-smoke: a short seeded crash/recover run asserting the BENCH_4.json
+   schema AND the fault layer's determinism promise — two runs with the
+   same seed must emit byte-identical JSON once the wallclock block is
+   stripped.  Wired into `dune runtest` via the faults-smoke alias. *)
+
+let fail msg =
+  prerr_endline ("faults-smoke: FAILED: " ^ msg);
+  exit 1
+
+let () =
+  let a = Recovery.run ~quick:true () in
+  (match Recovery.validate a with
+   | Ok () -> ()
+   | Error m -> fail ("schema check: " ^ m));
+  let b = Recovery.run ~quick:true () in
+  (match Recovery.validate b with
+   | Ok () -> ()
+   | Error m -> fail ("schema check (second run): " ^ m));
+  let a' = Recovery.strip_wallclock a and b' = Recovery.strip_wallclock b in
+  if not (String.equal a' b') then
+    fail "same seed produced different runs (wallclock stripped)";
+  print_endline
+    "faults-smoke: BENCH_4.json schema OK, crash/recover deterministic"

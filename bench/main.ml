@@ -99,7 +99,13 @@ let experiments : (string * string * (unit -> unit)) list =
      fun () ->
        Bench1.run_and_write
          ~quick:(!Common.profile == Common.quick)
-         ~path:"BENCH_1.json" ()) ]
+         ~path:"BENCH_1.json" ());
+    ("recovery",
+     "fault-injected crash/recover run (writes BENCH_4.json)",
+     fun () ->
+       Recovery.run_and_write
+         ~quick:(!Common.profile == Common.quick)
+         ~path:"BENCH_4.json" ()) ]
 
 let run_suite quick names =
   if quick then Common.profile := Common.quick;

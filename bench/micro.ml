@@ -372,10 +372,7 @@ let fig14 () =
         Sim.run (fun () ->
             let cluster =
               Glassdb.Cluster.create
-                { (Glassdb.Cluster.default_config ~shards:4 ()) with
-                  Glassdb.Cluster.node =
-                    { Glassdb.Node.default_config with
-                      Glassdb.Node.persist_interval = 0.02 } }
+                (Glassdb.Config.make ~shards:4 ~persist_interval:0.02 ())
             in
             Glassdb.Cluster.start cluster;
             let auditor = Glassdb.Auditor.create cluster ~id:0 in

@@ -11,7 +11,7 @@ module Ledger = Glassdb.Ledger
 let run shards ops audit verbose trace =
   Option.iter (fun _ -> Obs.Trace.enable ()) trace;
   Sim.run (fun () ->
-      let cluster = Cluster.create (Cluster.default_config ~shards ()) in
+      let cluster = Cluster.create (Glassdb.Config.make ~shards ()) in
       Cluster.start cluster;
       let client = Client.create cluster ~id:1 ~sk:"demo-key" in
       let auditor = Auditor.create cluster ~id:0 in

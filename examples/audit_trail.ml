@@ -20,7 +20,7 @@ let record = "patient-0042/dosage"
 
 let () =
   Sim.run (fun () ->
-      let cluster = Cluster.create (Cluster.default_config ~shards:2 ()) in
+      let cluster = Cluster.create (Glassdb.Config.make ~shards:2 ()) in
       Cluster.start cluster;
       let doctor = Client.create cluster ~id:1 ~sk:"dr-key" in
       let auditor = Auditor.create cluster ~id:0 in
@@ -31,7 +31,7 @@ let () =
         (fun dose ->
           (match Client.execute doctor (fun t -> Client.put t record dose) with
            | Ok _ -> ()
-           | Error e -> failwith e);
+           | Error e -> failwith (Glassdb_util.Error.to_string e));
           Sim.sleep 0.2)
         [ "10mg"; "20mg"; "15mg" ];
       Sim.sleep 0.3;
@@ -53,7 +53,9 @@ let () =
               oldest
               (if check.Client.v_ok then "OK" else "FAILED")
           | Ok (None, _) -> print_endline "missing at that block?"
-          | Error e -> Printf.printf "historical read failed: %s\n" e)
+          | Error e ->
+            Printf.printf "historical read failed: %s\n"
+              (Glassdb_util.Error.to_string e))
        | [] -> print_endline "no history?");
 
       (* Baseline audit of the honest history. *)

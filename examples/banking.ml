@@ -19,7 +19,7 @@ let account i = Printf.sprintf "acct-%04d" i
 
 let () =
   Sim.run (fun () ->
-      let cluster = Cluster.create (Cluster.default_config ~shards:8 ()) in
+      let cluster = Cluster.create (Glassdb.Config.make ~shards:8 ()) in
       Cluster.start cluster;
 
       let teller = Client.create cluster ~id:0 ~sk:"teller-key" in
@@ -37,7 +37,7 @@ let () =
              done)
        with
        | Ok _ -> Printf.printf "opened %d accounts\n" accounts
-       | Error e -> failwith e);
+       | Error e -> failwith (Glassdb_util.Error.to_string e));
 
       (* Several tellers transfer money concurrently; conflicting transfers
          abort and retry, so every committed transfer moved real money. *)
@@ -94,7 +94,7 @@ let () =
          Printf.printf "total money: %d (expected %d) -> %s\n" total
            (accounts * initial_balance)
            (if total = accounts * initial_balance then "conserved" else "VIOLATION")
-       | Error e -> failwith e);
+       | Error e -> failwith (Glassdb_util.Error.to_string e));
 
       (* The auditor replays every block of every shard: signatures,
          hash-chain, and state-root re-execution. *)

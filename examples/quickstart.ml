@@ -13,7 +13,7 @@ let () =
      simulated network. *)
   Sim.run (fun () ->
       (* 1. A 4-shard cluster with default settings. *)
-      let cluster = Cluster.create (Cluster.default_config ~shards:4 ()) in
+      let cluster = Cluster.create (Glassdb.Config.make ~shards:4 ()) in
       Cluster.start cluster;
 
       (* 2. A client session with a signing key. *)
@@ -29,7 +29,8 @@ let () =
          Printf.printf "committed; %d promises for deferred verification\n"
            (List.length promises);
          Client.queue_promises client promises
-       | Error reason -> Printf.printf "aborted: %s\n" reason);
+       | Error reason ->
+         Printf.printf "aborted: %s\n" (Glassdb_util.Error.to_string reason));
 
       (* 4. Read it back in another transaction. *)
       (match
@@ -40,7 +41,9 @@ let () =
          Printf.printf "read back: %s %s\n"
            (Option.value ~default:"?" g)
            (Option.value ~default:"?" a)
-       | Error reason -> Printf.printf "read aborted: %s\n" reason);
+       | Error reason ->
+         Printf.printf "read aborted: %s\n"
+           (Glassdb_util.Error.to_string reason));
 
       (* 5. Wait for the persister to build a block, then flush the
          deferred verifications: each checks an inclusion proof and an
@@ -62,7 +65,9 @@ let () =
          Printf.printf "verified read: greeting = %S (%s)\n" value
            (if v.Client.v_ok then "proof OK" else "proof FAILED")
        | Ok (None, _) -> print_endline "greeting missing?"
-       | Error e -> Printf.printf "verified read failed: %s\n" e);
+       | Error e ->
+         Printf.printf "verified read failed: %s\n"
+           (Glassdb_util.Error.to_string e));
 
       Printf.printf "client detected %d violations (expect 0)\n"
         (Client.verification_failures client);

@@ -18,27 +18,17 @@ let merge_phase_stats per_node =
 (* --- GlassDB --- *)
 
 let make_glassdb name p =
-  let node_cfg =
-    { Glassdb.Node.default_config with
-      Glassdb.Node.persist_interval = p.persist_interval;
-      workers = p.workers;
-      batching = p.batching;
-      sync_persist = p.sync_persist;
-      pattern_bits = p.pattern_bits }
-  in
   let cl =
     Glassdb.Cluster.create
-      { (Glassdb.Cluster.default_config ~shards:p.shards ()) with
-        Glassdb.Cluster.node = node_cfg;
-        rpc_timeout = p.rpc_timeout }
+      (Glassdb.Config.make ~shards:p.shards ~workers:p.workers
+         ~persist_interval:p.persist_interval ~batching:p.batching
+         ~sync_persist:p.sync_persist ~pattern_bits:p.pattern_bits
+         ~rpc_timeout:p.rpc_timeout ~rpc_retries:p.rpc_retries
+         ~retry_backoff:p.retry_backoff ~verify_delay:p.verify_delay
+         ?faults:p.faults ())
   in
   let mk_client i =
-    let c =
-      Glassdb.Client.create
-        ~config:{ Glassdb.Client.rpc_timeout = p.rpc_timeout;
-                  verify_delay = p.verify_delay }
-        cl ~id:i ~sk:(Printf.sprintf "sk-%d" i)
-    in
+    let c = Glassdb.Client.create cl ~id:i ~sk:(Printf.sprintf "sk-%d" i) in
     let to_v (v : Glassdb.Client.verification) =
       { ok = v.Glassdb.Client.v_ok;
         proof_bytes = v.Glassdb.Client.v_proof_bytes;
@@ -74,7 +64,8 @@ let make_glassdb name p =
         (fun k ->
           let shard = Glassdb.Cluster.shard_of_key cl k in
           let d = Glassdb.Client.digest_of_shard c shard in
-          if d.Glassdb.Ledger.block_no < 0 then Error "no history yet"
+          if d.Glassdb.Ledger.block_no < 0 then
+            Error (Error.Unavailable "no history yet")
           else begin
             let block = max 0 (d.Glassdb.Ledger.block_no - 3) in
             match Glassdb.Client.verified_get_at c k ~block with
@@ -140,9 +131,9 @@ let make_qldb p =
             | None -> 16)
           (fun nd -> Qldb.Node.get_verified_latest nd k)
       with
-      | None -> Error "rpc timeout"
-      | Some None -> Error "key unwritten"
-      | Some (Some proof) ->
+      | Error e -> Error e
+      | Ok None -> Error (Error.Unavailable "key unwritten")
+      | Ok (Some proof) ->
         let d = proof.Qldb.Node.cp_digest in
         let value =
           (* The claimed value is inside the entry; re-derive it. *)
@@ -287,9 +278,9 @@ let make_ledgerdb p =
             | None -> 16)
           (fun nd -> Ledgerdb.Node.get_verified_latest nd k)
       with
-      | None -> Error "rpc timeout"
-      | Some None -> Error "not yet covered"
-      | Some (Some proof) ->
+      | Error e -> Error e
+      | Ok None -> Error (Error.Unavailable "not yet covered")
+      | Ok (Some proof) ->
         let d = proof.Ledgerdb.Node.lp_digest in
         let value =
           match List.rev proof.Ledgerdb.Node.lp_clues with
@@ -457,8 +448,8 @@ let make_trillian p =
             | None -> 16)
           (fun () -> Trillian.get_verified t k)
       with
-      | None -> Error "rpc timeout"
-      | Some None -> Error "not mapped yet"
+      | None -> Error (Error.Timeout "rpc")
+      | Some None -> Error (Error.Unavailable "not mapped yet")
       | Some (Some (v, proof)) ->
         let d = proof.Trillian.rp_digest in
         let ok =
@@ -472,8 +463,10 @@ let make_trillian p =
             latency = Sim.now () -. started;
             keys = 1 }
     in
-    { c_execute = (fun _ -> Error "trillian: transactions unsupported");
-      c_execute_verified = (fun _ -> Error "trillian: transactions unsupported");
+    { c_execute =
+        (fun _ -> Error (Error.Unavailable "trillian: transactions unsupported"));
+      c_execute_verified =
+        (fun _ -> Error (Error.Unavailable "trillian: transactions unsupported"));
       c_verified_put =
         (fun k v ->
           match
@@ -482,7 +475,7 @@ let make_trillian p =
               (fun () -> ignore (Trillian.put t k v))
           with
           | Some () -> Ok ()
-          | None -> Error "rpc timeout");
+          | None -> Error (Error.Timeout "rpc"));
       c_verified_get_latest = verified_get;
       c_verified_get_historical = verified_get;
       c_flush = (fun ~force:_ -> []);

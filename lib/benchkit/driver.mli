@@ -38,7 +38,7 @@ type setup = {
 val run_transactional :
   setup ->
   load:(System.client -> unit) ->
-  body:(System.client -> Rng.t -> (unit, string) Stdlib.result) ->
+  body:(System.client -> Rng.t -> (unit, Glassdb_util.Error.t) Stdlib.result) ->
   result
 (** Generic transactional run: [load] once with client 0, then closed-loop
     [body] per client. *)
@@ -53,7 +53,7 @@ val run_verified :
 val run_timeline :
   setup ->
   load:(System.client -> unit) ->
-  body:(System.client -> Rng.t -> (unit, string) Stdlib.result) ->
+  body:(System.client -> Rng.t -> (unit, Glassdb_util.Error.t) Stdlib.result) ->
   events:(float * (System.admin -> unit)) list ->
   (float * int) list
 (** Fig-11-style run: returns per-second committed-txn counts while the

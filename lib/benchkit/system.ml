@@ -10,6 +10,9 @@ type params = {
   batching : bool;
   sync_persist : bool;
   rpc_timeout : float;
+  rpc_retries : int;
+  retry_backoff : float;
+  faults : Faults.t option;
 }
 
 let default_params =
@@ -20,7 +23,10 @@ let default_params =
     pattern_bits = 5;
     batching = true;
     sync_persist = false;
-    rpc_timeout = 0.5 }
+    rpc_timeout = 0.5;
+    rpc_retries = 2;
+    retry_backoff = 0.01;
+    faults = None }
 
 type verification = {
   ok : bool;
@@ -35,11 +41,11 @@ type txn_ctx = {
 }
 
 type client = {
-  c_execute : (txn_ctx -> unit) -> (unit, string) result;
-  c_execute_verified : (txn_ctx -> unit) -> (unit, string) result;
-  c_verified_put : Kv.key -> Kv.value -> (unit, string) result;
-  c_verified_get_latest : Kv.key -> (verification, string) result;
-  c_verified_get_historical : Kv.key -> (verification, string) result;
+  c_execute : (txn_ctx -> unit) -> (unit, Error.t) result;
+  c_execute_verified : (txn_ctx -> unit) -> (unit, Error.t) result;
+  c_verified_put : Kv.key -> Kv.value -> (unit, Error.t) result;
+  c_verified_get_latest : Kv.key -> (verification, Error.t) result;
+  c_verified_get_historical : Kv.key -> (verification, Error.t) result;
   c_flush : force:bool -> verification list;
   c_history : Kv.key -> n:int -> int;
   c_failures : unit -> int;

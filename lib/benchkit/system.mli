@@ -16,7 +16,10 @@ type params = {
   pattern_bits : int;
   batching : bool;          (** GlassDB ablation: block batching *)
   sync_persist : bool;      (** GlassDB ablation: no deferred verification *)
-  rpc_timeout : float;
+  rpc_timeout : float;      (** per-RPC attempt deadline *)
+  rpc_retries : int;        (** retries after the first attempt *)
+  retry_backoff : float;    (** base backoff, doubled per retry *)
+  faults : Faults.t option; (** fault schedule (GlassDB; None = no faults) *)
 }
 
 val default_params : params
@@ -34,13 +37,13 @@ type txn_ctx = {
 }
 
 type client = {
-  c_execute : (txn_ctx -> unit) -> (unit, string) result;
-  c_execute_verified : (txn_ctx -> unit) -> (unit, string) result;
+  c_execute : (txn_ctx -> unit) -> (unit, Error.t) result;
+  c_execute_verified : (txn_ctx -> unit) -> (unit, Error.t) result;
       (** Like [c_execute], but the transaction's writes are scheduled for
           (deferred) verification, per the system's own mechanism. *)
-  c_verified_put : Kv.key -> Kv.value -> (unit, string) result;
-  c_verified_get_latest : Kv.key -> (verification, string) result;
-  c_verified_get_historical : Kv.key -> (verification, string) result;
+  c_verified_put : Kv.key -> Kv.value -> (unit, Error.t) result;
+  c_verified_get_latest : Kv.key -> (verification, Error.t) result;
+  c_verified_get_historical : Kv.key -> (verification, Error.t) result;
   c_flush : force:bool -> verification list;
   c_history : Kv.key -> n:int -> int; (** versions actually fetched *)
   c_failures : unit -> int;           (** failed proof checks *)

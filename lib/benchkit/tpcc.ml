@@ -75,7 +75,7 @@ let load client cfg =
             List.iter (fun (k, v) -> ctx.System.tput k v) batch)
       with
       | Ok () -> ()
-      | Error e -> failwith ("tpcc load failed: " ^ e))
+      | Error e -> failwith ("tpcc load failed: " ^ Error.to_string e))
     (chunks (List.rev !puts))
 
 (* --- transactions --- *)

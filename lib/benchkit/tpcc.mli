@@ -41,5 +41,5 @@ val pick_kind : Rng.t -> txn_kind
 (** Standard mix: 42/42/4/4/4/4. *)
 
 val run_txn :
-  System.client -> Rng.t -> config -> txn_kind -> (unit, string) result
+  System.client -> Rng.t -> config -> txn_kind -> (unit, Glassdb_util.Error.t) result
 (** Execute one verified transaction of the given kind. *)

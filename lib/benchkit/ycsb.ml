@@ -36,7 +36,7 @@ let load client cfg =
     for k = 0 to cfg.record_count - 1 do
       match client.System.c_verified_put (key_of k) value with
       | Ok () -> ()
-      | Error e -> failwith ("ycsb load failed: " ^ e)
+      | Error e -> failwith ("ycsb load failed: " ^ Error.to_string e)
     done
   else begin
     let batch = 100 in
@@ -51,7 +51,7 @@ let load client cfg =
              done)
        with
        | Ok () -> ()
-       | Error e -> failwith ("ycsb load failed: " ^ e));
+       | Error e -> failwith ("ycsb load failed: " ^ Error.to_string e));
       i := hi
     done
   end

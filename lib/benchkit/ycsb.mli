@@ -36,10 +36,10 @@ type op = Op_get of Kv.key | Op_put of Kv.key * Kv.value
 val txn_ops : Rng.t -> config -> op list
 (** One transaction's operations according to the mix. *)
 
-val run_txn : System.client -> Rng.t -> config -> (unit, string) result
+val run_txn : System.client -> Rng.t -> config -> (unit, Glassdb_util.Error.t) result
 (** Generate and execute one transaction. *)
 
-val run_txn_verified : System.client -> Rng.t -> config -> (unit, string) result
+val run_txn_verified : System.client -> Rng.t -> config -> (unit, Glassdb_util.Error.t) result
 (** Same, with the writes scheduled for deferred verification. *)
 
 type verified_op = V_put | V_get_latest | V_get_at
@@ -49,6 +49,6 @@ val workload_y : Rng.t -> verified_op
 
 val run_verified_op :
   System.client -> Rng.t -> config -> verified_op ->
-  (System.verification option, string) result
+  (System.verification option, Glassdb_util.Error.t) result
 (** Execute one verified operation; puts return [None] (their verification
     arrives later via [c_flush]). *)

@@ -20,7 +20,7 @@ let create cluster ~id =
   let store = Storage.Node_store.create () in
   let pcfg =
     Pos_tree.config
-      ~pattern_bits:(Cluster.config_of cluster).Cluster.node.Node.pattern_bits
+      ~pattern_bits:(Cluster.config_of cluster).Config.pattern_bits
       store
   in
   { aid = id;
@@ -127,11 +127,11 @@ let audit_shard t ~shard =
         (Node.digest nd, Node.prove_append_only nd ~old_block:view.digest.Ledger.block_no))
   in
   match head with
-  | None ->
+  | Error _ ->
     (* Unreachable server is not a violation; report zero progress. *)
     { ar_shard = shard; ar_blocks = 0; ar_ok = true;
       ar_latency = Sim.now () -. started }
-  | Some (new_digest, append_proof) ->
+  | Ok (new_digest, append_proof) ->
     let append_ok =
       Cost.charge Cost.default (fun () ->
           Ledger.verify_append_only ~old_digest:view.digest ~new_digest
@@ -163,8 +163,8 @@ let audit_shard t ~shard =
                | None -> 16)
              (fun nd -> Node.block_bundle nd !b)
          with
-         | None | Some None -> ok := false
-         | Some (Some bundle) ->
+         | Error _ | Ok None -> ok := false
+         | Ok (Some bundle) ->
            let this_ok =
              Cost.charge Cost.default (fun () -> check_block t view bundle)
            in
@@ -192,8 +192,8 @@ let verify_user_digest t ~shard (user_digest : Ledger.digest) =
         ~resp_bytes:Ledger.append_proof_size_bytes
         (fun nd -> Node.prove_append_only nd ~old_block:user_digest.Ledger.block_no)
     with
-    | None -> false
-    | Some proof ->
+    | Error _ -> false
+    | Ok proof ->
       let ok =
         Ledger.verify_append_only ~old_digest:user_digest
           ~new_digest:view.digest proof
@@ -222,8 +222,8 @@ let gossip t peer =
           ~resp_bytes:Ledger.append_proof_size_bytes
           (fun nd -> Node.prove_append_only nd ~old_block:behind.Ledger.block_no)
       with
-      | None -> ()
-      | Some proof ->
+      | Error _ -> ()
+      | Ok proof ->
         if
           not
             (Ledger.verify_append_only ~old_digest:behind ~new_digest:ahead

@@ -1,11 +1,5 @@
 module Kv = Txnkit.Kv
-
-type config = {
-  rpc_timeout : float;
-  verify_delay : float;
-}
-
-let default_client_config = { rpc_timeout = 1.0; verify_delay = 0.1 }
+module Error = Glassdb_util.Error
 
 type pending = { due : float; promise : Node.promise }
 
@@ -13,28 +7,66 @@ type t = {
   cid : int;
   sk : string;
   cluster : Cluster.t;
-  cfg : config;
+  rpc_timeout : float;
+  verify_delay : float;
+  rpc_retries : int;
+  retry_backoff : float;
   mutable seq : int;
   digests : Ledger.digest array;
   mutable pending : pending list;
   mutable failures : int;
+  mutable retries : int;
+  mutable abort_records : Kv.txn_id list;
+  m_retries : Obs.Metrics.counter;
 }
 
-let create ?(config = default_client_config) cluster ~id ~sk =
+let create ?rpc_timeout ?verify_delay ?rpc_retries ?retry_backoff cluster ~id
+    ~sk =
+  let cfg = Cluster.config_of cluster in
+  let dflt v field = match v with Some v -> v | None -> field in
   { cid = id;
     sk;
     cluster;
-    cfg = config;
+    rpc_timeout = dflt rpc_timeout cfg.Config.rpc_timeout;
+    verify_delay = dflt verify_delay cfg.Config.verify_delay;
+    rpc_retries = dflt rpc_retries cfg.Config.rpc_retries;
+    retry_backoff = dflt retry_backoff cfg.Config.retry_backoff;
     seq = 0;
     digests = Array.make (Cluster.shards cluster) Ledger.genesis;
     pending = [];
-    failures = 0 }
+    failures = 0;
+    retries = 0;
+    abort_records = [];
+    m_retries =
+      Obs.Metrics.counter ~name:"glassdb.client.rpc_retries" () }
 
 let id t = t.cid
 let public_key t = t.sk
 let digest_of_shard t s = t.digests.(s)
+let adopt_digest t ~shard digest = t.digests.(shard) <- digest
 let verification_failures t = t.failures
+let rpc_retry_count t = t.retries
 let pending_verifications t = List.length t.pending
+let coordinator_aborts t = List.rev t.abort_records
+
+(* Bounded retry with exponential backoff.  Dispatch is on the error
+   CONSTRUCTOR — only transient transport errors ({!Error.retryable}) are
+   retried; conflicts, aborts and invalid proofs surface immediately. *)
+let with_retry t ~label f =
+  let rec go attempt =
+    match f () with
+    | Ok _ as ok -> ok
+    | Error e when Error.retryable e && attempt < t.rpc_retries ->
+      t.retries <- t.retries + 1;
+      Obs.Metrics.inc t.m_retries;
+      Obs.Trace.instant ~cat:"client" ~track:t.cid
+        ~attrs:[ ("op", label); ("attempt", string_of_int (attempt + 1)) ]
+        "rpc.retry";
+      Sim.sleep (t.retry_backoff *. (2. ** float_of_int attempt));
+      go (attempt + 1)
+    | Error _ as err -> err
+  in
+  go 0
 
 (* Accept a new digest only when the server proves it extends the cached
    one; otherwise count a detected violation and keep the old digest. *)
@@ -51,12 +83,20 @@ let advance_digest t shard ~proof new_digest =
   end
 
 (* Users gossip digests with each other (Section 2.2 / 3.4.2): for every
-   shard, the fresher party's digest must extend the staler one's, with the
-   server supplying the append-only proof.  False = a fork between the two
-   views was detected. *)
+   shard, the fresher party's digest must extend the staler one's, with
+   the server supplying the append-only proof.  [Error (Proof_invalid _)]
+   = a fork between the two views was detected; proof fetches are retried
+   through packet loss so a fork cannot hide behind a dropped message. *)
 let gossip a b =
   let shards = Cluster.shards a.cluster in
-  let ok = ref true in
+  let result = ref (Ok ()) in
+  let note_err e =
+    match (!result, e) with
+    | Ok (), _ -> result := Error e
+    | Error (Error.Proof_invalid _), _ -> () (* forks take precedence *)
+    | Error _, Error.Proof_invalid _ -> result := Error e
+    | Error _, _ -> ()
+  in
   for s = 0 to shards - 1 do
     let da = a.digests.(s) and db = b.digests.(s) in
     let ahead, behind, behind_client =
@@ -68,26 +108,29 @@ let gossip a b =
     if ahead.Ledger.block_no >= 0 && not (Ledger.digest_equal ahead behind)
     then begin
       match
-        Cluster.call a.cluster ~shard:s ~req_bytes:64
-          ~resp_bytes:Ledger.append_proof_size_bytes
-          (fun nd -> Node.prove_append_only nd ~old_block:behind.Ledger.block_no)
+        with_retry a ~label:"gossip" (fun () ->
+            Cluster.call a.cluster ~timeout:a.rpc_timeout ~shard:s ~req_bytes:64
+              ~resp_bytes:Ledger.append_proof_size_bytes
+              (fun nd ->
+                Node.prove_append_only nd ~old_block:behind.Ledger.block_no))
       with
-      | None -> ()
-      | Some proof ->
+      | Error e -> note_err e
+      | Ok proof ->
         if
           Ledger.verify_append_only ~old_digest:behind ~new_digest:ahead proof
         then behind_client.digests.(s) <- ahead
         else begin
-          ok := false;
-          a.failures <- a.failures + 1
+          a.failures <- a.failures + 1;
+          note_err
+            (Error.Proof_invalid (Printf.sprintf "gossip fork on shard %d" s))
         end
     end
   done;
-  !ok
+  !result
 
 (* --- transactions --- *)
 
-exception Abort of string
+exception Abort of Error.t
 
 type handle = {
   client : t;
@@ -112,17 +155,18 @@ let get h key =
     let t = h.client in
     let shard = Cluster.shard_of_key t.cluster key in
     (match
-       Cluster.call t.cluster ~shard
-         ~req_bytes:(String.length key + 16)
-         ~resp_bytes:(fun r ->
-           match r with Some (v, _) -> String.length v + 16 | None -> 16)
-         (fun nd -> Node.get nd key)
+       with_retry t ~label:"read" (fun () ->
+           Cluster.call t.cluster ~timeout:t.rpc_timeout ~shard
+             ~req_bytes:(String.length key + 16)
+             ~resp_bytes:(fun r ->
+               match r with Some (v, _) -> String.length v + 16 | None -> 16)
+             (fun nd -> Node.get nd key))
      with
-     | None -> raise (Abort "read timeout")
-     | Some None ->
+     | Error e -> raise (Abort e)
+     | Ok None ->
        h.reads <- (key, -1) :: h.reads;
        None
-     | Some (Some (v, version)) ->
+     | Ok (Some (v, version)) ->
        h.reads <- (key, version) :: h.reads;
        Some v)
 
@@ -155,9 +199,10 @@ let rw_sets_by_shard h =
   |> List.map (fun (shard, (reads, writes)) ->
          (shard, { Kv.reads = !reads; writes = !writes }))
 
-(* Fan an RPC out to several shards and join all answers (None on any
-   timeout). *)
-let fan_out t calls =
+(* Fan an RPC out to several shards and join all answers.  Every call is
+   time-bounded (each attempt sleeps out at most the RPC timeout, retries
+   are finite), so a plain ivar read cannot hang. *)
+let fan_out calls =
   let ivs =
     List.map
       (fun (shard, call) ->
@@ -166,25 +211,47 @@ let fan_out t calls =
         (shard, iv))
       calls
   in
-  List.map
-    (fun (shard, iv) ->
-      match Sim.Ivar.read_timeout iv (t.cfg.rpc_timeout *. 2.) with
-      | Some v -> (shard, v)
-      | None -> (shard, None))
-    ivs
+  List.map (fun (shard, iv) -> (shard, Sim.Ivar.read iv)) ivs
+
+(* Release prepare state across [per_shard], retrying through transient
+   errors so a partitioned-but-alive shard does not keep the write locks
+   once the link heals.  Shards that stay unreachable past the retry
+   budget either crashed (locks already wiped, replay conservatively
+   aborts the undecided prepare) or will reject the stale tid later; the
+   coordinator records the abort either way. *)
+let abort_round t ~tid per_shard =
+  t.abort_records <- tid :: t.abort_records;
+  ignore
+    (fan_out
+       (List.map
+          (fun (shard, _) ->
+            ( shard,
+              fun () ->
+                with_retry t ~label:"abort" (fun () ->
+                    Cluster.call t.cluster ~timeout:t.rpc_timeout ~shard ~req_bytes:32
+                      ~resp_bytes:(fun _ -> 8)
+                      (fun nd -> Node.abort nd tid)) ))
+          per_shard))
 
 let execute t body =
   Obs.Trace.span ~cat:"client" ~track:t.cid ~name:"execute" @@ fun () ->
   let h = fresh_handle t in
   match body h with
-  | exception Abort reason -> Error reason
+  | exception Abort err ->
+    (* Unconditional cleanup: even though reads take no OCC locks, any
+       shard this transaction already spoke to must forget the tid. *)
+    (match rw_sets_by_shard h with
+     | [] -> ()
+     | per_shard -> abort_round t ~tid:h.tid per_shard);
+    Error err
   | value ->
     let per_shard = rw_sets_by_shard h in
     if per_shard = [] then Ok (value, [])
     else begin
       (* Prepare round.  The transaction is signed once over its whole
          read/write set; every shard validates only its own slice but
-         stores the full signed transaction for auditing. *)
+         stores the full signed transaction for auditing.  Retransmitted
+         prepares are idempotent server-side, so retries are safe. *)
       let full_rw =
         { Kv.reads = List.rev h.reads;
           writes =
@@ -193,65 +260,66 @@ let execute t body =
       let stxn = Kv.sign ~sk:t.sk ~tid:h.tid ~client:t.cid full_rw in
       let verdicts =
         Obs.Trace.span ~cat:"client" ~track:t.cid ~name:"prepare" (fun () ->
-            fan_out t
+            fan_out
               (List.map
                  (fun (shard, rw) ->
                    ( shard,
                      fun () ->
-                       Cluster.call t.cluster ~phase:("prepare", 1) ~shard
-                         ~req_bytes:(Kv.signed_txn_bytes stxn)
-                         ~resp_bytes:(fun _ -> 8)
-                         (fun nd -> Node.prepare nd ~rw stxn) ))
+                       with_retry t ~label:"prepare" (fun () ->
+                           Cluster.call t.cluster ~timeout:t.rpc_timeout ~phase:("prepare", 1) ~shard
+                             ~req_bytes:(Kv.signed_txn_bytes stxn)
+                             ~resp_bytes:(fun _ -> 8)
+                             (fun nd -> Node.prepare nd ~rw stxn)) ))
                  per_shard))
       in
       let all_ok =
         List.for_all
-          (function _, Some Txnkit.Occ.Ok -> true | _ -> false)
+          (function _, Ok Txnkit.Occ.Ok -> true | _ -> false)
           verdicts
       in
       if all_ok then begin
         let promise_lists =
           Obs.Trace.span ~cat:"client" ~track:t.cid ~name:"commit" (fun () ->
-              fan_out t
+              fan_out
                 (List.map
                    (fun (shard, _) ->
                      ( shard,
                        fun () ->
-                         Cluster.call t.cluster ~phase:("commit", 1) ~shard
-                           ~req_bytes:32
-                           ~resp_bytes:(fun ps -> 16 + (48 * List.length ps))
-                           (fun nd -> Node.commit nd h.tid) ))
+                         with_retry t ~label:"commit" (fun () ->
+                             Cluster.call t.cluster ~timeout:t.rpc_timeout ~phase:("commit", 1) ~shard
+                               ~req_bytes:32
+                               ~resp_bytes:(fun ps -> 16 + (48 * List.length ps))
+                               (fun nd -> Node.commit nd h.tid)) ))
                    per_shard))
         in
         let promises =
           List.concat_map
-            (function _, Some ps -> ps | _, None -> [])
+            (function _, Ok ps -> ps | _, Error _ -> [])
             promise_lists
         in
         Ok (value, promises)
       end
       else begin
-        (* Abort round (best effort; timeouts ignored). *)
-        ignore
-          (fan_out t
-             (List.map
-                (fun (shard, _) ->
-                  ( shard,
-                    fun () ->
-                      Cluster.call t.cluster ~shard ~req_bytes:32
-                        ~resp_bytes:(fun _ -> 8)
-                        (fun nd -> Node.abort nd h.tid; ()) ))
-                per_shard));
-        let reason =
+        (* Abort round: unconditional, with the same retry budget as any
+           other RPC, so prepare state cannot leak on shards that answered
+           Ok while a sibling conflicted or timed out. *)
+        abort_round t ~tid:h.tid per_shard;
+        let err =
+          (* A conflict is the most informative verdict; otherwise the
+             first transport error explains the abort. *)
           List.fold_left
             (fun acc (_, v) ->
-              match v with
-              | Some (Txnkit.Occ.Conflict r) -> r
-              | None -> "prepare timeout"
-              | Some Txnkit.Occ.Ok -> acc)
-            "conflict" verdicts
+              match (acc, v) with
+              | Some (Error.Txn_conflict _), _ -> acc
+              | _, Ok (Txnkit.Occ.Conflict r) -> Some (Error.Txn_conflict r)
+              | None, Error e -> Some e
+              | acc, _ -> acc)
+            None verdicts
         in
-        Error reason
+        Error
+          (match err with
+           | Some e -> e
+           | None -> Error.Txn_conflict "conflict")
       end
     end
 
@@ -265,17 +333,17 @@ type verification = {
 }
 
 let queue_promises t promises =
-  let due = Sim.now () +. t.cfg.verify_delay in
+  let due = Sim.now () +. t.verify_delay in
   t.pending <-
     List.fold_left (fun acc p -> { due; promise = p } :: acc) t.pending promises
 
 let verified_put t key value =
   match execute t (fun h -> put h key value) with
   | Error e -> Error e
-  | Ok ((), []) -> Error "no promise returned"
+  | Ok ((), []) -> Error (Error.Unavailable "no promise returned")
   | Ok ((), promise :: _) ->
     t.pending <-
-      { due = Sim.now () +. t.cfg.verify_delay; promise } :: t.pending;
+      { due = Sim.now () +. t.verify_delay; promise } :: t.pending;
     Ok promise
 
 let check_read t shard key expected (vr : Node.verified_read) ~current =
@@ -308,18 +376,19 @@ let verified_get_latest t key =
   let from = t.digests.(shard) in
   let started = Sim.now () in
   match
-    Cluster.call t.cluster ~shard ~req_bytes:(String.length key + 64)
-      ~resp_bytes:(fun r ->
-        match r with
-        | Some vr ->
-          Ledger.proof_size_bytes vr.Node.vr_proof
-          + Ledger.append_proof_size_bytes vr.Node.vr_append + 64
-        | None -> 16)
-      (fun nd -> Node.get_verified_latest nd key ~from)
+    with_retry t ~label:"verified-get" (fun () ->
+        Cluster.call t.cluster ~timeout:t.rpc_timeout ~shard ~req_bytes:(String.length key + 64)
+          ~resp_bytes:(fun r ->
+            match r with
+            | Some vr ->
+              Ledger.proof_size_bytes vr.Node.vr_proof
+              + Ledger.append_proof_size_bytes vr.Node.vr_append + 64
+            | None -> 16)
+          (fun nd -> Node.get_verified_latest nd key ~from))
   with
-  | None -> Error "rpc timeout"
-  | Some None -> Error "nothing persisted yet"
-  | Some (Some vr) ->
+  | Error e -> Error e
+  | Ok None -> Error (Error.Unavailable "nothing persisted yet")
+  | Ok (Some vr) ->
     let v = check_read t shard key vr.Node.vr_value vr ~current:true in
     let v = { v with v_latency = Sim.now () -. started } in
     Ok (vr.Node.vr_value, v)
@@ -329,18 +398,19 @@ let verified_get_at t key ~block =
   let from = t.digests.(shard) in
   let started = Sim.now () in
   match
-    Cluster.call t.cluster ~shard ~req_bytes:(String.length key + 72)
-      ~resp_bytes:(fun r ->
-        match r with
-        | Some vr ->
-          Ledger.proof_size_bytes vr.Node.vr_proof
-          + Ledger.append_proof_size_bytes vr.Node.vr_append + 64
-        | None -> 16)
-      (fun nd -> Node.get_verified_at nd key ~block ~from)
+    with_retry t ~label:"verified-get-at" (fun () ->
+        Cluster.call t.cluster ~timeout:t.rpc_timeout ~shard ~req_bytes:(String.length key + 72)
+          ~resp_bytes:(fun r ->
+            match r with
+            | Some vr ->
+              Ledger.proof_size_bytes vr.Node.vr_proof
+              + Ledger.append_proof_size_bytes vr.Node.vr_append + 64
+            | None -> 16)
+          (fun nd -> Node.get_verified_at nd key ~block ~from))
   with
-  | None -> Error "rpc timeout"
-  | Some None -> Error "no such block"
-  | Some (Some vr) ->
+  | Error e -> Error e
+  | Ok None -> Error (Error.Unavailable "no such block")
+  | Ok (Some vr) ->
     let v = check_read t shard key vr.Node.vr_value vr ~current:false in
     let v = { v with v_latency = Sim.now () -. started } in
     Ok (vr.Node.vr_value, v)
@@ -348,12 +418,12 @@ let verified_get_at t key ~block =
 let get_history t key ~n =
   let shard = Cluster.shard_of_key t.cluster key in
   match
-    Cluster.call t.cluster ~shard ~req_bytes:(String.length key + 24)
+    Cluster.call t.cluster ~timeout:t.rpc_timeout ~shard ~req_bytes:(String.length key + 24)
       ~resp_bytes:(fun l -> 16 + List.fold_left (fun a (v, _) -> a + String.length v + 8) 0 l)
       (fun nd -> Node.get_history nd key ~n)
   with
-  | None -> []
-  | Some l -> l
+  | Error _ -> []
+  | Ok l -> l
 
 let flush_verifications t ?(force = false) () =
   let now = Sim.now () in
@@ -380,7 +450,7 @@ let flush_verifications t ?(force = false) () =
         let from = t.digests.(shard) in
         let started = Sim.now () in
         let reply =
-          Cluster.call t.cluster ~phase:("get-proof", List.length ps) ~shard
+          Cluster.call t.cluster ~timeout:t.rpc_timeout ~phase:("get-proof", List.length ps) ~shard
             ~req_bytes:(64 * List.length ps)
             ~resp_bytes:(fun (proofs, appendp, _) ->
               List.fold_left
@@ -391,11 +461,11 @@ let flush_verifications t ?(force = false) () =
               Node.get_proofs nd (List.map (fun p -> p.promise) ps) ~from)
         in
         match reply with
-        | None ->
+        | Error _ ->
           (* Node unreachable: requeue. *)
           t.pending <- ps @ t.pending;
           acc
-        | Some (proofs, appendp, new_digest) ->
+        | Ok (proofs, appendp, new_digest) ->
           (* The server proves every persisted block at once; promises
              beyond its digest are requeued for the next flush. *)
           let ready, not_ready =

@@ -5,20 +5,22 @@
     prepare/commit rounds across every shard involved.  It caches each
     shard's latest digest, holds the server's deferred-verification
     promises, and checks every proof it receives — updating the digest only
-    when the append-only proof from the previously cached digest verifies. *)
+    when the append-only proof from the previously cached digest verifies.
+
+    Every RPC has a per-attempt timeout with bounded exponential-backoff
+    retries; errors are the shared typed {!Glassdb_util.Error.t}, and
+    retry/abort policy dispatches on the constructor.  Cleanup of 2PC
+    prepare state is unconditional: every abort path runs a (retried)
+    abort round so half-prepared shards do not leak OCC locks. *)
 
 module Kv = Txnkit.Kv
 
-type config = {
-  rpc_timeout : float;   (** per-RPC timeout before aborting the txn *)
-  verify_delay : float;  (** deferred-verification window (0 = immediate) *)
-}
-
-val default_client_config : config
-
 type t
 
-val create : ?config:config -> Cluster.t -> id:int -> sk:string -> t
+val create :
+  ?rpc_timeout:float -> ?verify_delay:float -> ?rpc_retries:int ->
+  ?retry_backoff:float -> Cluster.t -> id:int -> sk:string -> t
+(** Each optional knob defaults to the cluster {!Config.t}'s value. *)
 
 val id : t -> int
 val public_key : t -> string
@@ -29,13 +31,19 @@ val public_key : t -> string
 type handle
 (** In-flight transaction context. *)
 
-exception Abort of string
-(** Raised inside {!execute}'s body by failed reads (node down); turns into
-    [Error reason]. *)
+exception Abort of Glassdb_util.Error.t
+(** Raised inside {!execute}'s body by failed reads (node down, timeout
+    after retries); turns into [Error _] after the unconditional abort
+    round. *)
 
-val execute : t -> (handle -> 'a) -> ('a * Node.promise list, string) result
+val execute :
+  t -> (handle -> 'a) ->
+  ('a * Node.promise list, Glassdb_util.Error.t) result
 (** Run a transaction body; on success returns its value plus the promises
-    for its writes.  The commit point runs 2PC across the shards touched. *)
+    for its writes.  The commit point runs 2PC across the shards touched;
+    any abort path (body exception, conflict, exhausted retries) first
+    releases prepare state on every contacted shard and records the abort
+    on the coordinator (see {!coordinator_aborts}). *)
 
 val get : handle -> Kv.key -> Kv.value option
 (** Read within the transaction (read-your-writes on buffered puts). *)
@@ -57,15 +65,18 @@ val queue_promises : t -> Node.promise list -> unit
     configured delay (used by the verified transaction workloads). *)
 
 val verified_put :
-  t -> Kv.key -> Kv.value -> (Node.promise, string) result
+  t -> Kv.key -> Kv.value -> (Node.promise, Glassdb_util.Error.t) result
 (** Write via a single-key transaction; the promise is queued for deferred
     verification after [verify_delay]. *)
 
-val verified_get_latest : t -> Kv.key -> (Kv.value option * verification, string) result
+val verified_get_latest :
+  t -> Kv.key ->
+  (Kv.value option * verification, Glassdb_util.Error.t) result
 (** Current-value read with proof, checked against the cached digest. *)
 
 val verified_get_at :
-  t -> Kv.key -> block:int -> (Kv.value option * verification, string) result
+  t -> Kv.key -> block:int ->
+  (Kv.value option * verification, Glassdb_util.Error.t) result
 (** Historical read with inclusion + append-only proof. *)
 
 val get_history : t -> Kv.key -> n:int -> (Kv.value * int) list
@@ -82,11 +93,28 @@ val flush_verifications : t -> ?force:bool -> unit -> verification list
 val digest_of_shard : t -> int -> Ledger.digest
 (** The client's current view (for auditing / gossip). *)
 
-val gossip : t -> t -> bool
+val adopt_digest : t -> shard:int -> Ledger.digest -> unit
+(** Replace the cached digest for [shard] — restoring a view saved out of
+    band (another device, a backup).  The next gossip or verified read
+    cross-checks it against the server's chain, so a forked digest
+    surfaces as [Proof_invalid]. *)
+
+val gossip : t -> t -> (unit, Glassdb_util.Error.t) result
 (** Exchange digests with another user (Section 3.4.2): the staler view
-    advances when the server proves the fresher one extends it; [false]
-    means the two views fork — a detected equivocation. *)
+    advances when the server proves the fresher one extends it.
+    [Error (Proof_invalid _)] means the two views fork — a detected
+    equivocation (it takes precedence over transport errors); proof
+    fetches retry through packet loss. *)
 
 val verification_failures : t -> int
 (** Count of proof checks that failed — non-zero means a detected attack
     or bug; benchmarks assert it stays zero. *)
+
+val rpc_retry_count : t -> int
+(** RPC attempts beyond the first, across all operations (mirrors the
+    [glassdb.client.rpc_retries] counter). *)
+
+val coordinator_aborts : t -> Kv.txn_id list
+(** Coordinator-side abort records, oldest first: every transaction this
+    client decided to abort (a recovering shard could consult these; the
+    tests assert cleanup really ran). *)

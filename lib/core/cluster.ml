@@ -1,39 +1,29 @@
 module Kv = Txnkit.Kv
-
-type config = {
-  shards : int;
-  node : Node.config;
-  rtt : float;
-  bandwidth : float;
-  rpc_timeout : float;
-}
-
-let default_config ?(shards = 4) () =
-  { shards;
-    node = Node.default_config;
-    rtt = 200e-6;
-    bandwidth = 125e6;
-    rpc_timeout = 1.0 }
+module Error = Glassdb_util.Error
 
 type t = {
-  cfg : config;
+  cfg : Config.t;
   nodes : Node.t array;
   net : Net.t;
   mutable running : bool;
 }
 
 let create cfg =
-  if cfg.shards <= 0 then invalid_arg "Cluster.create";
   { cfg;
-    nodes = Array.init cfg.shards (fun i -> Node.create cfg.node ~shard_id:i);
-    net = Net.create ~rtt:cfg.rtt ~bandwidth:cfg.bandwidth ();
+    nodes =
+      Array.init cfg.Config.shards (fun i ->
+          Node.create (Config.node cfg) ~shard_id:i);
+    net =
+      Net.create ~rtt:cfg.Config.rtt ~bandwidth:cfg.Config.bandwidth
+        ~faults:cfg.Config.faults ();
     running = false }
 
 let config_of t = t.cfg
-let shards t = t.cfg.shards
+let faults_of t = t.cfg.Config.faults
+let shards t = t.cfg.Config.shards
 let node t i = t.nodes.(i)
 let nodes t = t.nodes
-let shard_of_key t k = Kv.shard_of_key ~shards:t.cfg.shards k
+let shard_of_key t k = Kv.shard_of_key ~shards:t.cfg.Config.shards k
 
 (* The persister is the paper's single persisting thread: it occupies one
    worker slot while it updates the ledger, so transaction threads keep
@@ -51,8 +41,8 @@ let charged_call cost nd f =
   (v, Sim.now () -. started)
 
 let persister t nd =
-  let cost = t.cfg.node.Node.cost in
-  let interval = t.cfg.node.Node.persist_interval in
+  let cost = t.cfg.Config.cost in
+  let interval = t.cfg.Config.persist_interval in
   let pool = Node.workers nd in
   let rec loop () =
     if t.running then begin
@@ -92,51 +82,66 @@ let persister t nd =
   in
   loop ()
 
+let crash_node t i =
+  Obs.Trace.instant ~cat:"fault" ~attrs:[ ("shard", string_of_int i) ]
+    "fault.crash";
+  Obs.Metrics.inc
+    (Obs.Metrics.counter ~name:"glassdb.fault.crashes"
+       ~labels:[ ("shard", string_of_int i) ] ());
+  Node.crash t.nodes.(i)
+
+let recover_node t i = Node.recover t.nodes.(i)
+
 let start t =
   t.running <- true;
-  if not t.cfg.node.Node.sync_persist then
-    Array.iter (fun nd -> Sim.spawn (fun () -> persister t nd)) t.nodes
+  if not t.cfg.Config.sync_persist then
+    Array.iter (fun nd -> Sim.spawn (fun () -> persister t nd)) t.nodes;
+  (* Arm the fault schedule: crash/restart actions map onto the cluster's
+     own handlers, partitions toggle inside the fault layer. *)
+  Faults.run t.cfg.Config.faults ~crash:(crash_node t)
+    ~restart:(recover_node t)
 
 let stop t = t.running <- false
 
 (* RPCs run inline in the caller's process: transfer, queue for a worker,
-   execute with measured work charged as service time, transfer back.  A
-   dead node never answers; the caller sleeps out its timeout, exactly as a
-   timed-out ivar read would. *)
-let call t ?phase ~shard ~req_bytes ~resp_bytes f =
+   execute with measured work charged as service time, transfer back.
+   Failures surface as typed errors, always after the caller has slept out
+   the full [rpc_timeout] — a lost request, a lost response and a dead
+   node are indistinguishable on the wire. *)
+let call t ?timeout ?phase ~shard ~req_bytes ~resp_bytes f =
   let nd = t.nodes.(shard) in
   let started = Sim.now () in
-  let dead () =
-    let elapsed = Sim.now () -. started in
-    Sim.sleep (Float.max 0. (t.cfg.rpc_timeout -. elapsed));
-    None
+  let rpc_timeout =
+    match timeout with Some s -> s | None -> t.cfg.Config.rpc_timeout
   in
-  Net.send t.net ~bytes_len:req_bytes;
-  if not (Node.alive nd) then dead ()
+  let failed err =
+    let elapsed = Sim.now () -. started in
+    Sim.sleep (Float.max 0. (rpc_timeout -. elapsed));
+    Error err
+  in
+  let span_name = match phase with Some (n, _) -> n | None -> "rpc" in
+  if not (Net.try_send t.net ~link:shard ~bytes_len:req_bytes) then
+    failed (Error.Timeout span_name)
+  else if not (Node.alive nd) then failed (Error.Node_down shard)
   else begin
     (* Server-side latency = queueing for a worker + charged service time;
        recorded per phase for the cost-breakdown figures. *)
     let arrived = Sim.now () in
-    let span_name = match phase with Some (n, _) -> n | None -> "rpc" in
     let v, _ =
       Obs.Trace.span ~cat:"node" ~track:(1000 + shard) ~name:span_name
         (fun () ->
           Sim.Resource.use (Node.workers nd) (fun () ->
-              charged_call t.cfg.node.Node.cost nd (fun () -> f nd)))
+              charged_call t.cfg.Config.cost nd (fun () -> f nd)))
     in
     (match phase with
      | Some (name, keys) when keys > 0 ->
        Node.note_phase nd name ((Sim.now () -. arrived) /. float_of_int keys)
      | _ -> ());
-    if not (Node.alive nd) then dead ()
-    else begin
-      Net.send t.net ~bytes_len:(resp_bytes v);
-      Some v
-    end
+    if not (Node.alive nd) then failed (Error.Node_down shard)
+    else if not (Net.try_send t.net ~link:shard ~bytes_len:(resp_bytes v))
+    then failed (Error.Timeout span_name)
+    else Ok v
   end
-
-let crash_node t i = Node.crash t.nodes.(i)
-let recover_node t i = Node.recover t.nodes.(i)
 
 let total_storage_bytes t =
   Array.fold_left

@@ -2,45 +2,50 @@
     model, with one persister process per node (Figure 3's persisting
     thread).  All client/auditor traffic flows through {!call}, which
     charges transfer latency and node service time measured from real work
-    counters. *)
+    counters, and consults the deployment's {!Faults} schedule (drops,
+    delays, partitions, crashes). *)
 
 module Kv = Txnkit.Kv
 
-type config = {
-  shards : int;
-  node : Node.config;
-  rtt : float;
-  bandwidth : float;
-  rpc_timeout : float;
-}
-
-val default_config : ?shards:int -> unit -> config
-
 type t
 
-val create : config -> t
+val create : Config.t -> t
+(** Build the deployment described by the configuration (see
+    {!Config.make} for the knobs and their defaults). *)
 
 val start : t -> unit
-(** Spawn the persister processes; must run inside [Sim.run]. *)
+(** Spawn the persister processes and arm the fault schedule; must run
+    inside [Sim.run].  Note a fault scheduled past the end of the
+    workload keeps the simulation alive until it fires. *)
 
 val stop : t -> unit
 (** Stop the persisters (lets the simulation drain). *)
 
-val config_of : t -> config
+val config_of : t -> Config.t
+val faults_of : t -> Faults.t
 val shards : t -> int
 val node : t -> int -> Node.t
 val nodes : t -> Node.t array
 val shard_of_key : t -> Kv.key -> int
 
 val call :
-  t -> ?phase:string * int -> shard:int -> req_bytes:int ->
-  resp_bytes:('a -> int) -> (Node.t -> 'a) -> 'a option
+  t -> ?timeout:float -> ?phase:string * int -> shard:int ->
+  req_bytes:int -> resp_bytes:('a -> int) -> (Node.t -> 'a) ->
+  ('a, Glassdb_util.Error.t) result
 (** One RPC: request transfer, queue for a worker, execute the handler with
-    its measured work charged as service time, response transfer.  [None]
-    when the node is down or the response missed [rpc_timeout]. *)
+    its measured work charged as service time, response transfer.  Errors
+    are typed — [Node_down] when the shard is crashed, [Timeout] when the
+    request or response was dropped — and always surface after the caller
+    has slept out the full [rpc_timeout] ([?timeout] overrides the
+    configured one per call), exactly like a timed-out wire.
+    Note a [Timeout] on the response leg means the handler DID run. *)
 
 val crash_node : t -> int -> unit
+(** Take the shard down (volatile state lost); emits a [fault.crash]
+    marker and bumps [glassdb.fault.crashes]. *)
+
 val recover_node : t -> int -> unit
+(** Restart the shard: WAL replay, see {!Node.recover}. *)
 
 val total_storage_bytes : t -> int
 val total_blocks : t -> int

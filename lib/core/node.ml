@@ -45,8 +45,6 @@ type t = {
   signed : (Kv.txn_id, Kv.signed_txn) Hashtbl.t;
   (* FIFO of committed transactions for per-transaction blocks (no-BA). *)
   txn_blocks : (Kv.txn_id * (Kv.key * Kv.value) list) Queue.t;
-  (* Keys already persisted, per txn, to support WAL recovery. *)
-  mutable persisted_marks : (Kv.txn_id * Kv.key) list;
   stats : (string, Stats.t) Hashtbl.t;
   mutable commits : int;
   mutable aborts : int;
@@ -101,7 +99,6 @@ let create cfg ~shard_id =
       is_alive = true;
       signed = Hashtbl.create 256;
       txn_blocks = Queue.create ();
-      persisted_marks = [];
       stats = Hashtbl.create 8;
       commits = 0;
       aborts = 0;
@@ -180,6 +177,32 @@ let parse_wal_commit payload =
       (tid, writes))
     payload
 
+(* A "block" record marks its (tid, key) pairs persisted: recovery drops
+   them from the replayed commits instead of re-queueing them. *)
+let wal_block_payload ~block writes =
+  Codec.to_string
+    (fun buf () ->
+      Codec.write_varint buf block;
+      Codec.write_list buf
+        (fun b (k, _, tid) ->
+          Codec.write_string b tid;
+          Codec.write_string b k)
+        writes)
+    ()
+
+let parse_wal_block payload =
+  Codec.of_string
+    (fun r ->
+      let block = Codec.read_varint r in
+      let pairs =
+        Codec.read_list r (fun r ->
+            let tid = Codec.read_string r in
+            let k = Codec.read_string r in
+            (tid, k))
+      in
+      (block, pairs))
+    payload
+
 (* --- persistence --- *)
 
 let block_of_writes t ~now writes =
@@ -193,21 +216,9 @@ let block_of_writes t ~now writes =
       writes
   in
   t.ledger <- Ledger.append_block t.ledger ~time:now ~writes:block_writes ~txns;
-  (* Mark these writes persisted (for crash recovery), and drop signed
-     transactions whose writes are fully persisted. *)
-  List.iter
-    (fun (k, _, tid) -> t.persisted_marks <- (tid, k) :: t.persisted_marks)
-    writes;
   ignore
     (Storage.Wal.append t.wal ~kind:"block"
-       ~payload:
-         (Codec.to_string
-            (fun buf () ->
-              Codec.write_varint buf (Ledger.latest_block t.ledger);
-              Codec.write_list buf
-                (fun b (_, _, tid) -> Codec.write_string b tid)
-                writes)
-            ()))
+       ~payload:(wal_block_payload ~block:(Ledger.latest_block t.ledger) writes))
 
 (* Build at most one block; true when a block was appended.  The caller
    (the persister process) charges each step separately so ledger writes
@@ -261,21 +272,26 @@ let persist t ~now =
 (* --- transaction phases --- *)
 
 let prepare t ~rw stxn =
-  let verdict =
-    if Occ.prepared_count t.occ >= t.cfg.queue_capacity then
-      Txnkit.Occ.Conflict "queue full"
-    else
-      Occ.prepare t.occ ~tid:stxn.Kv.tid ~current_version:(current_version t)
-        rw
-  in
-  (match verdict with
-   | Txnkit.Occ.Ok ->
-     Hashtbl.replace t.signed stxn.Kv.tid stxn;
-     ignore
-       (Storage.Wal.append t.wal ~kind:"prepare"
-          ~payload:(Codec.to_string Kv.encode_signed_txn stxn))
-   | Txnkit.Occ.Conflict _ -> ());
-  verdict
+  (* A retransmitted prepare (the first response was lost) is acknowledged,
+     not re-validated or re-logged: the tid already holds its locks. *)
+  if Occ.is_prepared t.occ ~tid:stxn.Kv.tid then Txnkit.Occ.Ok
+  else begin
+    let verdict =
+      if Occ.prepared_count t.occ >= t.cfg.queue_capacity then
+        Txnkit.Occ.Conflict "queue full"
+      else
+        Occ.prepare t.occ ~tid:stxn.Kv.tid ~current_version:(current_version t)
+          rw
+    in
+    (match verdict with
+     | Txnkit.Occ.Ok ->
+       Hashtbl.replace t.signed stxn.Kv.tid stxn;
+       ignore
+         (Storage.Wal.append t.wal ~kind:"prepare"
+            ~payload:(Codec.to_string Kv.encode_signed_txn stxn))
+     | Txnkit.Occ.Conflict _ -> ());
+    verdict
+  end
 
 let commit t tid =
   match Occ.commit t.occ ~tid with
@@ -328,9 +344,7 @@ let abort t tid =
    recovery. *)
 let checkpoint t =
   let horizon = Storage.Wal.last_seq t.wal + 1 in
-  Storage.Wal.truncate_before t.wal horizon;
-  (* Recovery marks for persisted writes are likewise no longer needed. *)
-  if Txnkit.Committed_map.is_empty t.cmap then t.persisted_marks <- []
+  Storage.Wal.truncate_before t.wal horizon
 
 let wal_size_bytes t = Storage.Wal.size_bytes t.wal
 let wal_records t = List.length (Storage.Wal.records_from t.wal 0)
@@ -456,19 +470,39 @@ let crash t =
   Txnkit.Occ.clear t.occ
 
 let recover t =
-  (* Replay the WAL: committed writes not covered by a later block record
-     are re-queued for persistence. *)
+  Obs.Trace.span ~cat:"node" ~track:(1000 + t.id) ~name:"recovery.wal_replay"
+    ~attrs:[ ("shard", string_of_int t.id) ]
+  @@ fun () ->
+  (* Replay is driven by durable state alone (WAL + ledger) and resets
+     every volatile structure first, so replaying twice is idempotent and
+     a node that lost its memory mid-flight rebuilds the exact committed
+     prefix the log acknowledges. *)
+  Committed_map.clear t.cmap;
+  Hashtbl.reset t.signed;
+  Queue.clear t.txn_blocks;
+  Occ.clear t.occ;
   let persisted = Hashtbl.create 64 in
-  List.iter
-    (fun (tid, k) -> Hashtbl.replace persisted (tid, k) ())
-    t.persisted_marks;
   let commits = ref [] in
+  let replayed = ref 0 in
   List.iter
     (fun r ->
+      incr replayed;
       match r.Storage.Wal.kind with
       | "commit" ->
         (match parse_wal_commit r.Storage.Wal.payload with
          | tid, writes -> commits := (tid, writes) :: !commits
+         | exception _ ->
+           (* Torn mid-write: the commit was never acknowledged. *)
+           ())
+      | "block" ->
+        (* These (tid, key) pairs already reached the ledger: recovery
+           must not re-queue them, and the persister resumes exactly after
+           the recorded block sequence. *)
+        (match parse_wal_block r.Storage.Wal.payload with
+         | _block, pairs ->
+           List.iter
+             (fun (tid, k) -> Hashtbl.replace persisted (tid, k) ())
+             pairs
          | exception _ -> ())
       | "prepare" ->
         (* Undecided at crash time: conservatively aborted (the paper's
@@ -489,4 +523,20 @@ let recover t =
           end)
         writes)
     (List.rev !commits);
-  t.is_alive <- true
+  Obs.Metrics.inc
+    (Obs.Metrics.counter ~name:"glassdb.node.recoveries" ~labels:t.labels ());
+  Obs.Metrics.inc
+    ~by:(float_of_int !replayed)
+    (Obs.Metrics.counter ~name:"glassdb.node.wal_replayed_records"
+       ~labels:t.labels ());
+  t.is_alive <- true;
+  (* In sync-persist mode there is no persister process to drain the
+     replayed writes; push them straight back to the ledger. *)
+  if t.cfg.sync_persist && not (Committed_map.is_empty t.cmap) then
+    ignore (persist t ~now:(if Sim.in_simulation () then Sim.now () else 0.))
+
+(* --- test / introspection hooks --- *)
+
+let committed_fingerprint t = Committed_map.fingerprint t.cmap
+let write_locked t k = Occ.is_write_locked t.occ k
+let wal_of t = t.wal

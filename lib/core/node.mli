@@ -136,8 +136,25 @@ val crash : t -> unit
     store and WAL survive. *)
 
 val recover : t -> unit
-(** Reboot: replay the WAL tail, re-queueing committed-but-unpersisted
-    writes; prepared-but-undecided transactions are aborted. *)
+(** Reboot: reset volatile state and replay the WAL — committed writes not
+    covered by a later "block" record are re-queued for persistence at the
+    correct block sequence; prepared-but-undecided transactions are
+    conservatively aborted; torn trailing records are skipped.  Replay is
+    idempotent.  Emits a [recovery.wal_replay] span and bumps the
+    [glassdb.node.recoveries] / [glassdb.node.wal_replayed_records]
+    counters. *)
+
+val committed_fingerprint : t -> Glassdb_util.Hash.t
+(** Content hash of the committed-data map (see
+    {!Txnkit.Committed_map.fingerprint}); the crash-replay tests compare
+    rebuilt state against pre-crash state. *)
+
+val write_locked : t -> Kv.key -> bool
+(** Whether some prepared transaction holds the OCC write lock on [key]
+    (test hook for the 2PC cleanup regression tests). *)
+
+val wal_of : t -> Storage.Wal.t
+(** The node's WAL (test hook: crash-replay tests truncate/tear it). *)
 
 (* --- statistics --- *)
 

@@ -1,12 +1,16 @@
 type t = {
   rtt : float;
   bandwidth : float;
+  faults : Faults.t;
   mutable bytes : int;
 }
 
-let create ?(rtt = 200e-6) ?(bandwidth = 125e6) () =
+let create ?(rtt = 200e-6) ?(bandwidth = 125e6) ?faults () =
   if rtt < 0. || bandwidth <= 0. then invalid_arg "Net.create";
-  { rtt; bandwidth; bytes = 0 }
+  let faults = match faults with Some f -> f | None -> Faults.none () in
+  { rtt; bandwidth; faults; bytes = 0 }
+
+let faults_of t = t.faults
 
 let one_way t ~bytes_len =
   (t.rtt /. 2.) +. (float_of_int bytes_len /. t.bandwidth)
@@ -15,10 +19,28 @@ let send t ~bytes_len =
   t.bytes <- t.bytes + bytes_len;
   Sim.sleep (one_way t ~bytes_len)
 
-let rpc t ~req_bytes ~resp_bytes f =
-  send t ~bytes_len:req_bytes;
-  let v = f () in
-  send t ~bytes_len:resp_bytes;
-  v
+(* A fault-aware message on a shard's link: the sender always pays the
+   transfer (it cannot know the message was lost), then any injected extra
+   delay; [false] means the message never arrives. *)
+let try_send t ~link ~bytes_len =
+  t.bytes <- t.bytes + bytes_len;
+  Sim.sleep (one_way t ~bytes_len);
+  let extra = Faults.extra_delay t.faults ~shard:link in
+  if extra > 0. then Sim.sleep extra;
+  Faults.deliver t.faults ~shard:link
+
+let rpc t ?link ~req_bytes ~resp_bytes f =
+  match link with
+  | None ->
+    send t ~bytes_len:req_bytes;
+    let v = f () in
+    send t ~bytes_len:resp_bytes;
+    Some v
+  | Some link ->
+    if not (try_send t ~link ~bytes_len:req_bytes) then None
+    else begin
+      let v = f () in
+      if try_send t ~link ~bytes_len:resp_bytes then Some v else None
+    end
 
 let bytes_sent t = t.bytes

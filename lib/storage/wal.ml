@@ -29,4 +29,27 @@ let last_seq t = t.next_seq - 1
 let truncate_before t n =
   t.records <- List.filter (fun r -> r.seq >= n) t.records
 
+let record_bytes r = String.length r.kind + String.length r.payload + 16
+
+let recount t =
+  t.bytes <- List.fold_left (fun acc r -> acc + record_bytes r) 0 t.records
+
+(* Crash simulation: the tail of the log past [n] never reached the disk. *)
+let truncate_after t n =
+  t.records <- List.filter (fun r -> r.seq <= n) t.records;
+  t.next_seq <- n + 1;
+  recount t
+
+(* Crash simulation: the last record was torn mid-write — its payload is
+   cut short by [drop_bytes] (dropped entirely when nothing survives).
+   Replay must treat the mangled record as if it were never written. *)
+let tear_last t ~drop_bytes =
+  match t.records with
+  | [] -> ()
+  | last :: rest ->
+    let keep = String.length last.payload - drop_bytes in
+    if keep <= 0 then t.records <- rest
+    else t.records <- { last with payload = String.sub last.payload 0 keep } :: rest;
+    recount t
+
 let size_bytes t = t.bytes

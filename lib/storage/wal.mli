@@ -28,4 +28,13 @@ val last_seq : t -> int
 val truncate_before : t -> int -> unit
 (** Drop records with [seq < n]; used after a checkpoint. *)
 
+val truncate_after : t -> int -> unit
+(** Drop records with [seq > n] (and rewind the sequence counter to
+    [n + 1]) — crash simulation: the tail never reached the disk. *)
+
+val tear_last : t -> drop_bytes:int -> unit
+(** Cut the newest record's payload short by [drop_bytes] (the record
+    disappears when nothing of the payload survives) — crash simulation
+    of a torn final write.  Replay must skip the mangled record. *)
+
 val size_bytes : t -> int

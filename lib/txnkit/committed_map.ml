@@ -77,3 +77,19 @@ let pending_versions t k =
   | Some q -> Queue.length q
 
 let clear t = Hashtbl.reset t.table
+
+let fingerprint t =
+  (* Content hash over the sorted bindings, every pending version in queue
+     order — two maps fingerprint equal iff they hold the same versions.
+     Used by the crash-replay tests to compare rebuilt state to
+     pre-crash state. *)
+  Glassdb_util.Det.sorted_bindings ~cmp:String.compare t.table
+  |> List.concat_map (fun (k, q) ->
+         Queue.fold
+           (fun acc e ->
+             Glassdb_util.Hash.kv k
+               (Printf.sprintf "%s|%d|%s" e.value e.predicted e.tid)
+             :: acc)
+           [] q
+         |> List.rev)
+  |> Glassdb_util.Hash.combine

@@ -41,3 +41,8 @@ val pending_versions : t -> Kv.key -> int
 
 val clear : t -> unit
 (** Forget everything (crash simulation: the map is volatile memory). *)
+
+val fingerprint : t -> Glassdb_util.Hash.t
+(** Content hash over the sorted bindings (every pending version, in queue
+    order): equal iff the maps hold exactly the same versions.  The
+    crash-replay tests compare a rebuilt map against pre-crash state. *)

@@ -91,6 +91,7 @@ let abort t ~tid =
   | Some rw -> release t tid rw
 
 let prepared_count t = Hashtbl.length t.prepared
+let is_prepared t ~tid = Hashtbl.mem t.prepared tid
 let is_write_locked t k = Hashtbl.mem t.write_locks k
 
 let clear t =

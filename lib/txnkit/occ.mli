@@ -34,6 +34,10 @@ val abort : t -> tid:Kv.txn_id -> unit
 
 val prepared_count : t -> int
 
+val is_prepared : t -> tid:Kv.txn_id -> bool
+(** True while [tid] holds prepare state (used to make a retried prepare
+    idempotent when only the response was lost). *)
+
 val is_write_locked : t -> Kv.key -> bool
 (** True while some prepared transaction intends to write the key. *)
 

@@ -1,0 +1,33 @@
+type t =
+  | Timeout of string
+  | Node_down of int
+  | Txn_conflict of string
+  | Proof_invalid of string
+  | Unavailable of string
+  | Aborted of string
+
+let to_string = function
+  | Timeout what -> "timeout: " ^ what
+  | Node_down shard -> Printf.sprintf "node down: shard %d" shard
+  | Txn_conflict reason -> "conflict: " ^ reason
+  | Proof_invalid what -> "proof invalid: " ^ what
+  | Unavailable what -> "unavailable: " ^ what
+  | Aborted reason -> "aborted: " ^ reason
+
+let pp fmt e = Format.pp_print_string fmt (to_string e)
+
+let equal a b =
+  match (a, b) with
+  | Timeout x, Timeout y
+  | Txn_conflict x, Txn_conflict y
+  | Proof_invalid x, Proof_invalid y
+  | Unavailable x, Unavailable y
+  | Aborted x, Aborted y -> String.equal x y
+  | Node_down x, Node_down y -> Int.equal x y
+  | ( ( Timeout _ | Node_down _ | Txn_conflict _ | Proof_invalid _
+      | Unavailable _ | Aborted _ ),
+      _ ) -> false
+
+let retryable = function
+  | Timeout _ | Node_down _ -> true
+  | Txn_conflict _ | Proof_invalid _ | Unavailable _ | Aborted _ -> false

@@ -1,0 +1,38 @@
+(** The shared error vocabulary for every client-facing operation.
+
+    One variant replaces the old mix of [(_, string) result] payloads and
+    string-carrying [Abort] exceptions: retry and abort policies dispatch
+    on the constructor (never on string matching), while [to_string]
+    renders a stable human-readable form for logs and benchmark output. *)
+
+type t =
+  | Timeout of string
+      (** The operation missed its RPC deadline ([string] names the phase,
+          e.g. ["prepare"] or ["read"]).  Retryable. *)
+  | Node_down of int
+      (** The shard (by id) is known to be crashed.  Retryable — the node
+          may be restarted by the fault schedule. *)
+  | Txn_conflict of string
+      (** OCC validation failed at some shard; the payload is the shard's
+          conflict reason.  Not retryable as-is: the transaction must be
+          re-executed from its read phase. *)
+  | Proof_invalid of string
+      (** A proof check failed — fork, tamper or bug.  Never retried. *)
+  | Unavailable of string
+      (** The request was well-formed but cannot be answered yet (nothing
+          persisted, unknown block, no promise).  Not retryable. *)
+  | Aborted of string
+      (** The transaction body itself aborted (application-level). *)
+
+val to_string : t -> string
+(** Stable rendering, ["timeout: prepare"] style — safe to embed in
+    benchmark JSON. *)
+
+val pp : Format.formatter -> t -> unit
+
+val equal : t -> t -> bool
+
+val retryable : t -> bool
+(** [true] exactly for {!Timeout} and {!Node_down}: transient conditions a
+    bounded backoff-retry loop may outlast.  Conflicts, invalid proofs and
+    aborts are terminal for the attempt. *)

@@ -1,4 +1,5 @@
 module Kv = Txnkit.Kv
+module Error = Glassdb_util.Error
 
 module type NODE = sig
   type t
@@ -24,9 +25,10 @@ module Make (N : NODE) = struct
     timeout : float;
   }
 
-  let create ?(rtt = 200e-6) ?(bandwidth = 125e6) ?(rpc_timeout = 1.0) nodes =
+  let create ?(rtt = 200e-6) ?(bandwidth = 125e6) ?(rpc_timeout = 1.0) ?faults
+      nodes =
     if Array.length nodes = 0 then invalid_arg "Dist.create";
-    { nodes; net = Net.create ~rtt ~bandwidth (); timeout = rpc_timeout }
+    { nodes; net = Net.create ~rtt ~bandwidth ?faults (); timeout = rpc_timeout }
 
   let shards t = Array.length t.nodes
   let node t i = t.nodes.(i)
@@ -35,17 +37,20 @@ module Make (N : NODE) = struct
   let rpc_timeout t = t.timeout
 
   (* RPCs run inline in the caller's process (see Cluster.call in the core
-     library); dead nodes cost the caller its full timeout. *)
+     library); failures surface as typed errors after the caller sleeps
+     out its full timeout, and the shared fault layer can drop either
+     transfer. *)
   let call t ?phase ?lock ~shard ~req_bytes ~resp_bytes f =
     let nd = t.nodes.(shard) in
     let started = Sim.now () in
-    let dead () =
+    let failed err =
       let elapsed = Sim.now () -. started in
       Sim.sleep (Float.max 0. (t.timeout -. elapsed));
-      None
+      Stdlib.Error err
     in
-    Net.send t.net ~bytes_len:req_bytes;
-    if not (N.alive nd) then dead ()
+    if not (Net.try_send t.net ~link:shard ~bytes_len:req_bytes) then
+      failed (Error.Timeout "request")
+    else if not (N.alive nd) then failed (Error.Node_down shard)
     else begin
       let arrived = Sim.now () in
       let serve () =
@@ -66,11 +71,10 @@ module Make (N : NODE) = struct
        | Some (name, keys) when keys > 0 ->
          N.note_phase nd name ((Sim.now () -. arrived) /. float_of_int keys)
        | _ -> ());
-      if not (N.alive nd) then dead ()
-      else begin
-        Net.send t.net ~bytes_len:(resp_bytes v);
-        Some v
-      end
+      if not (N.alive nd) then failed (Error.Node_down shard)
+      else if not (Net.try_send t.net ~link:shard ~bytes_len:(resp_bytes v))
+      then failed (Error.Timeout "response")
+      else Ok v
     end
 
   module Client = struct
@@ -81,7 +85,7 @@ module Make (N : NODE) = struct
       mutable seq : int;
     }
 
-    exception Abort of string
+    exception Abort of Error.t
 
     type handle = {
       client : c;
@@ -109,11 +113,11 @@ module Make (N : NODE) = struct
                | None -> 16)
              (fun nd -> N.read nd key)
          with
-         | None -> raise (Abort "read timeout")
-         | Some None ->
+         | Error e -> raise (Abort e)
+         | Ok None ->
            h.reads <- (key, -1) :: h.reads;
            None
-         | Some (Some (v, version)) ->
+         | Ok (Some (v, version)) ->
            h.reads <- (key, version) :: h.reads;
            Some v)
 
@@ -147,7 +151,7 @@ module Make (N : NODE) = struct
       |> List.map (fun (shard, (reads, writes)) ->
              (shard, { Kv.reads = !reads; writes = !writes }))
 
-    let fan_out t calls =
+    let fan_out _t calls =
       let ivs =
         List.map
           (fun (shard, call_fn) ->
@@ -158,9 +162,9 @@ module Make (N : NODE) = struct
       in
       List.map
         (fun (shard, iv) ->
-          match Sim.Ivar.read_timeout iv (t.timeout *. 2.) with
-          | Some v -> (shard, v)
-          | None -> (shard, None))
+          (* Calls are time-bounded (each sleeps out at most the RPC
+             timeout), so a plain ivar read cannot hang. *)
+          (shard, Sim.Ivar.read iv))
         ivs
 
     let execute c body =
@@ -173,7 +177,23 @@ module Make (N : NODE) = struct
           write_order = [] }
       in
       match body h with
-      | exception Abort reason -> Error reason
+      | exception Abort err ->
+        (* Unconditional cleanup: any shard already contacted must forget
+           the tid (mirrors the core client's abort path). *)
+        (match rw_sets_by_shard h with
+         | [] -> ()
+         | per_shard ->
+           ignore
+             (fan_out c.cl
+                (List.map
+                   (fun (shard, _) ->
+                     ( shard,
+                       fun () ->
+                         call c.cl ~shard ~req_bytes:32
+                           ~resp_bytes:(fun _ -> 8)
+                           (fun nd -> N.abort nd h.tid) ))
+                   per_shard)));
+        Stdlib.Error err
       | value ->
         let per_shard = rw_sets_by_shard h in
         if per_shard = [] then Ok (value, h.tid)
@@ -201,7 +221,7 @@ module Make (N : NODE) = struct
           in
           let all_ok =
             List.for_all
-              (function _, Some Txnkit.Occ.Ok -> true | _ -> false)
+              (function _, Ok Txnkit.Occ.Ok -> true | _ -> false)
               verdicts
           in
           if all_ok then begin
@@ -228,16 +248,21 @@ module Make (N : NODE) = struct
                           call t ~shard ~req_bytes:32 ~resp_bytes:(fun _ -> 8)
                             (fun nd -> N.abort nd h.tid; ()) ))
                     per_shard));
-            let reason =
+            let err =
               List.fold_left
                 (fun acc (_, v) ->
-                  match v with
-                  | Some (Txnkit.Occ.Conflict r) -> r
-                  | None -> "prepare timeout"
-                  | Some Txnkit.Occ.Ok -> acc)
-                "conflict" verdicts
+                  match (acc, v) with
+                  | Some (Error.Txn_conflict _), _ -> acc
+                  | _, Ok (Txnkit.Occ.Conflict r) ->
+                    Some (Error.Txn_conflict r)
+                  | None, Stdlib.Error e -> Some e
+                  | acc, _ -> acc)
+                None verdicts
             in
-            Error reason
+            Stdlib.Error
+              (match err with
+               | Some e -> e
+               | None -> Error.Txn_conflict "conflict")
           end
         end
   end

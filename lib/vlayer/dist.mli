@@ -37,7 +37,7 @@ module Make (N : NODE) : sig
 
   val create :
     ?rtt:float -> ?bandwidth:float -> ?rpc_timeout:float ->
-    N.t array -> t
+    ?faults:Faults.t -> N.t array -> t
 
   val shards : t -> int
   val node : t -> int -> N.t
@@ -47,19 +47,24 @@ module Make (N : NODE) : sig
 
   val call :
     t -> ?phase:string * int -> ?lock:Sim.Resource.t -> shard:int ->
-    req_bytes:int -> resp_bytes:('a -> int) -> (N.t -> 'a) -> 'a option
+    req_bytes:int -> resp_bytes:('a -> int) -> (N.t -> 'a) ->
+    ('a, Glassdb_util.Error.t) result
+  (** Typed failures, as in [Cluster.call]: [Node_down] for a crashed
+      shard, [Timeout] for a dropped transfer; either way the caller has
+      slept out the full timeout. *)
 
   module Client : sig
     type c
     type handle
 
-    exception Abort of string
+    exception Abort of Glassdb_util.Error.t
 
     val create : t -> id:int -> sk:string -> c
     val id : c -> int
     val cluster : c -> t
 
-    val execute : c -> (handle -> 'a) -> ('a * Kv.txn_id, string) result
+    val execute :
+      c -> (handle -> 'a) -> ('a * Kv.txn_id, Glassdb_util.Error.t) result
     (** Read phase runs inside the body via {!get}/{!put}; the commit point
         runs prepare/commit (or abort) rounds against every shard touched. *)
 

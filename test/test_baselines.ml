@@ -23,10 +23,10 @@ let test_qldb_txn_and_read () =
              Qldb.Cluster.Client.put h "b" "2")
        with
        | Ok _ -> ()
-       | Error e -> Alcotest.failf "commit: %s" e);
+       | Error e -> Alcotest.failf "commit: %s" (Glassdb_util.Error.to_string e));
       match Qldb.Cluster.Client.execute c (fun h -> Qldb.Cluster.Client.get h "a") with
       | Ok (v, _) -> Alcotest.(check (option string)) "read" (Some "1") v
-      | Error e -> Alcotest.failf "read: %s" e)
+      | Error e -> Alcotest.failf "read: %s" (Glassdb_util.Error.to_string e))
 
 let test_qldb_current_proof () =
   in_sim (fun () ->

@@ -151,7 +151,10 @@ let test_tpcc_load_and_each_kind () =
   | [] -> ()
   | fails ->
     Alcotest.failf "failed txns: %s"
-      (String.concat "; " (List.map (fun (k, e) -> k ^ ":" ^ e) fails))
+      (String.concat "; "
+         (List.map
+            (fun (k, e) -> k ^ ":" ^ Glassdb_util.Error.to_string e)
+            fails))
 
 let test_tpcc_new_order_consistency () =
   (* d_next_o_id advances once per new-order; order info exists. *)

@@ -3,6 +3,7 @@
    recovery, and tamper detection. *)
 
 module Kv = Txnkit.Kv
+module Error = Glassdb_util.Error
 module Ledger = Glassdb.Ledger
 module Node = Glassdb.Node
 module Cluster = Glassdb.Cluster
@@ -243,10 +244,12 @@ let test_ledger_append_only_detects_fork () =
 
 (* --- Cluster transactions --- *)
 
-let with_cluster ?(shards = 4) ?(node = Node.default_config) f =
+let with_cluster ?(shards = 4) ?(sync_persist = false) ?faults f =
   let out = ref None in
   Sim.run (fun () ->
-      let cl = Cluster.create { (Cluster.default_config ~shards ()) with node } in
+      let cl =
+        Cluster.create (Glassdb.Config.make ~shards ~sync_persist ?faults ())
+      in
       Cluster.start cl;
       out := Some (f cl);
       Cluster.stop cl);
@@ -262,10 +265,10 @@ let test_txn_commit_and_read () =
        with
        | Ok ((), promises) ->
          Alcotest.(check int) "two promises" 2 (List.length promises)
-       | Error e -> Alcotest.failf "commit failed: %s" e);
+       | Error e -> Alcotest.failf "commit failed: %s" (Error.to_string e));
       match Client.execute c (fun h -> Client.get h "x") with
       | Ok (v, _) -> Alcotest.(check (option string)) "read back" (Some "42") v
-      | Error e -> Alcotest.failf "read failed: %s" e)
+      | Error e -> Alcotest.failf "read failed: %s" (Error.to_string e))
 
 let test_txn_cross_shard_atomicity () =
   with_cluster ~shards:8 (fun cl ->
@@ -276,7 +279,7 @@ let test_txn_cross_shard_atomicity () =
              List.iter (fun k -> Client.put h k "100") keys)
        with
        | Ok _ -> ()
-       | Error e -> Alcotest.failf "setup failed: %s" e);
+       | Error e -> Alcotest.failf "setup failed: %s" (Error.to_string e));
       (* Transfer between two keys on (almost surely) different shards. *)
       (match
          Client.execute c (fun h ->
@@ -286,7 +289,7 @@ let test_txn_cross_shard_atomicity () =
              Client.put h "acct-1" (string_of_int (int_of_string b + 10)))
        with
        | Ok _ -> ()
-       | Error e -> Alcotest.failf "transfer failed: %s" e);
+       | Error e -> Alcotest.failf "transfer failed: %s" (Error.to_string e));
       match
         Client.execute c (fun h ->
             (Option.get (Client.get h "acct-0"), Option.get (Client.get h "acct-1")))
@@ -294,7 +297,7 @@ let test_txn_cross_shard_atomicity () =
       | Ok ((a, b), _) ->
         Alcotest.(check string) "debited" "90" a;
         Alcotest.(check string) "credited" "110" b
-      | Error e -> Alcotest.failf "check failed: %s" e)
+      | Error e -> Alcotest.failf "check failed: %s" (Error.to_string e))
 
 let test_txn_conflict_aborts () =
   with_cluster ~shards:1 (fun cl ->
@@ -326,20 +329,18 @@ let test_txn_conflict_aborts () =
       | Ok (Some "1", _) -> ()
       | Ok (v, _) ->
         Alcotest.failf "counter = %s" (Option.value ~default:"None" v)
-      | Error e -> Alcotest.failf "read failed: %s" e)
+      | Error e -> Alcotest.failf "read failed: %s" (Error.to_string e))
 
 let test_deferred_verification_roundtrip () =
   with_cluster (fun cl ->
       let c =
-        Client.create
-          ~config:{ Client.rpc_timeout = 1.0; verify_delay = 0.1 }
-          cl ~id:1 ~sk:"k1"
+        Client.create ~rpc_timeout:1.0 ~verify_delay:0.1 cl ~id:1 ~sk:"k1"
       in
       let results = ref [] in
       for i = 0 to 19 do
         match Client.verified_put c (Printf.sprintf "vk%d" i) (string_of_int i) with
         | Ok _ -> ()
-        | Error e -> Alcotest.failf "put %d failed: %s" i e
+        | Error e -> Alcotest.failf "put %d failed: %s" i (Error.to_string e)
       done;
       Alcotest.(check int) "promises queued" 20 (Client.pending_verifications c);
       (* Wait past the verify delay and a persist interval, then flush. *)
@@ -369,7 +370,7 @@ let test_verified_get_latest_and_at () =
          Alcotest.(check bool) "proof bytes > 0" true (v.Client.v_proof_bytes > 0)
        | Ok (v, _) ->
          Alcotest.failf "latest = %s" (Option.value ~default:"None" v)
-       | Error e -> Alcotest.failf "verified get failed: %s" e);
+       | Error e -> Alcotest.failf "verified get failed: %s" (Error.to_string e));
       (* Historical read at the first version's block. *)
       let shard = Cluster.shard_of_key cl "vg" in
       let nd = Cluster.node cl shard in
@@ -381,18 +382,14 @@ let test_verified_get_latest_and_at () =
       match Client.verified_get_at c "vg" ~block:first_block with
       | Ok (Some "first", v) -> Alcotest.(check bool) "at-proof ok" true v.Client.v_ok
       | Ok (v, _) -> Alcotest.failf "at = %s" (Option.value ~default:"None" v)
-      | Error e -> Alcotest.failf "verified get_at failed: %s" e)
+      | Error e -> Alcotest.failf "verified get_at failed: %s" (Error.to_string e))
 
 let test_sync_persist_mode () =
-  let node = { Node.default_config with Node.sync_persist = true } in
-  with_cluster ~node (fun cl ->
-      let c =
-        Client.create ~config:{ Client.rpc_timeout = 1.0; verify_delay = 0.0 }
-          cl ~id:1 ~sk:"k"
-      in
+  with_cluster ~sync_persist:true (fun cl ->
+      let c = Client.create ~rpc_timeout:1.0 ~verify_delay:0.0 cl ~id:1 ~sk:"k" in
       (match Client.verified_put c "s" "1" with
        | Ok p -> Alcotest.(check int) "block 0 promised" 0 p.Node.pr_block
-       | Error e -> Alcotest.failf "put failed: %s" e);
+       | Error e -> Alcotest.failf "put failed: %s" (Error.to_string e));
       (* With synchronous persistence the proof is available immediately. *)
       let vs = Client.flush_verifications c () in
       Alcotest.(check int) "verified immediately" 1
@@ -451,8 +448,7 @@ let test_auditor_detects_unauthorized_txn () =
 let test_crash_aborts_then_recovery_preserves_data () =
   with_cluster ~shards:2 (fun cl ->
       let c =
-        Client.create ~config:{ Client.rpc_timeout = 0.05; verify_delay = 0.1 }
-          cl ~id:1 ~sk:"k"
+        Client.create ~rpc_timeout:0.05 ~verify_delay:0.1 cl ~id:1 ~sk:"k"
       in
       ignore (Client.execute c (fun h -> Client.put h "r0" "before"));
       Sim.sleep 0.2;
@@ -473,7 +469,130 @@ let test_crash_aborts_then_recovery_preserves_data () =
       | Ok (Some "unpersisted", _) -> ()
       | Ok (v, _) ->
         Alcotest.failf "after recovery r0 = %s" (Option.value ~default:"None" v)
-      | Error e -> Alcotest.failf "read failed: %s" e)
+      | Error e -> Alcotest.failf "read failed: %s" (Error.to_string e))
+
+(* --- WAL crash-replay: every truncation point, torn tails, idempotence --- *)
+
+(* A node with persistence effectively disabled: every committed write
+   lives only in the volatile map and the WAL, so recovery is pure WAL
+   replay. *)
+let mk_bare_node () =
+  Node.create
+    (Glassdb.Config.node (Glassdb.Config.make ~shards:1 ~persist_interval:1e9 ()))
+    ~shard_id:0
+
+let commit_one nd i =
+  let tid = Printf.sprintf "t%d" i in
+  let stxn =
+    Kv.sign ~sk:"k" ~tid ~client:1
+      { Kv.reads = [];
+        writes = [ (Printf.sprintf "k%d" (i mod 3), string_of_int i) ] }
+  in
+  (match Node.prepare nd ~rw:stxn.Kv.rw stxn with
+   | Txnkit.Occ.Ok -> ignore (Node.commit nd tid)
+   | Txnkit.Occ.Conflict r -> Alcotest.failf "prepare %d: %s" i r);
+  (Storage.Wal.last_seq (Node.wal_of nd), Node.committed_fingerprint nd)
+
+let test_wal_replay_every_truncation_point () =
+  let nd = mk_bare_node () in
+  let empty_fp = Node.committed_fingerprint nd in
+  (* Snapshot (last WAL seq, committed-map fingerprint) after each commit. *)
+  let snaps = List.init 10 (fun i -> commit_one nd i) in
+  let expected_at s =
+    List.fold_left
+      (fun acc (seq, fp) -> if seq <= s then fp else acc)
+      empty_fp snaps
+  in
+  (* Truncate at every record boundary, newest first (truncation is
+     destructive, so walk downward on the same node). *)
+  for s = Storage.Wal.last_seq (Node.wal_of nd) downto -1 do
+    Node.crash nd;
+    Storage.Wal.truncate_after (Node.wal_of nd) s;
+    Node.recover nd;
+    if not (Glassdb_util.Hash.equal (Node.committed_fingerprint nd) (expected_at s))
+    then Alcotest.failf "replay after truncate_after %d diverges" s
+  done
+
+let test_wal_replay_skips_torn_record () =
+  let nd = mk_bare_node () in
+  let snaps = List.init 5 (fun i -> commit_one nd i) in
+  let fp_all = snd (List.nth snaps 4) in
+  let fp_prefix = snd (List.nth snaps 3) in
+  (* Tear the final commit record mid-payload: replay must skip it and
+     recover exactly the previous committed prefix. *)
+  Node.crash nd;
+  Storage.Wal.tear_last (Node.wal_of nd) ~drop_bytes:2;
+  Node.recover nd;
+  Alcotest.(check bool) "torn tail dropped, prefix exact" true
+    (Glassdb_util.Hash.equal (Node.committed_fingerprint nd) fp_prefix);
+  Alcotest.(check bool) "tail really was lost" false
+    (Glassdb_util.Hash.equal fp_prefix fp_all)
+
+let test_wal_replay_idempotent () =
+  let nd = mk_bare_node () in
+  let snaps = List.init 7 (fun i -> commit_one nd i) in
+  let fp = snd (List.nth snaps 6) in
+  Node.crash nd;
+  Node.recover nd;
+  Alcotest.(check bool) "first replay exact" true
+    (Glassdb_util.Hash.equal (Node.committed_fingerprint nd) fp);
+  (* Replaying again from the same WAL must not duplicate versions. *)
+  Node.recover nd;
+  Alcotest.(check bool) "second replay identical" true
+    (Glassdb_util.Hash.equal (Node.committed_fingerprint nd) fp)
+
+(* --- 2PC abort-path cleanup under injected faults --- *)
+
+let test_mid_2pc_crash_releases_prepare_locks () =
+  with_cluster ~shards:2 (fun cl ->
+      let c =
+        Client.create ~rpc_timeout:0.05 ~rpc_retries:1 ~retry_backoff:0.01
+          cl ~id:1 ~sk:"k"
+      in
+      let key_on shard =
+        let rec go i =
+          let k = Printf.sprintf "mp%d" i in
+          if Cluster.shard_of_key cl k = shard then k else go (i + 1)
+        in
+        go 0
+      in
+      let k0 = key_on 0 and k1 = key_on 1 in
+      (* Shard 1 dies before the transaction commits: its prepare round
+         fails, and the coordinator must release shard 0's prepare state. *)
+      Cluster.crash_node cl 1;
+      (match
+         Client.execute c (fun h ->
+             Client.put h k0 "a";
+             Client.put h k1 "b")
+       with
+       | Error _ -> ()
+       | Ok _ -> Alcotest.fail "committed through a dead shard");
+      Alcotest.(check bool) "no leaked OCC lock on surviving shard" false
+        (Node.write_locked (Cluster.node cl 0) k0);
+      Alcotest.(check bool) "coordinator recorded the abort" true
+        (Client.coordinator_aborts c <> []);
+      (* The surviving shard accepts the same key immediately. *)
+      match Client.execute c (fun h -> Client.put h k0 "again") with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "retry after abort: %s" (Error.to_string e))
+
+let test_partition_heals_and_retries_succeed () =
+  let faults = Faults.create ~seed:5 () in
+  Faults.schedule faults ~at:0.01 (Faults.Partition 0);
+  Faults.schedule faults ~at:0.30 (Faults.Heal 0);
+  with_cluster ~shards:1 ~faults (fun cl ->
+      let c =
+        Client.create ~rpc_timeout:0.1 ~rpc_retries:5 ~retry_backoff:0.05
+          cl ~id:1 ~sk:"k"
+      in
+      Sim.sleep 0.05 (* land inside the partition window *);
+      match Client.execute c (fun h -> Client.put h "p" "1") with
+      | Ok _ ->
+        Alcotest.(check bool) "attempts retried through the partition" true
+          (Client.rpc_retry_count c > 0)
+      | Error e ->
+        Alcotest.failf "retries never outlasted the partition: %s"
+          (Error.to_string e))
 
 let test_storage_accounting () =
   with_cluster (fun cl ->
@@ -511,6 +630,15 @@ let () =
        [ Alcotest.test_case "honest server passes" `Quick test_auditor_accepts_honest_server;
          Alcotest.test_case "unauthorized txn detected" `Quick test_auditor_detects_unauthorized_txn ]);
       ("failures",
-       [ Alcotest.test_case "crash, abort, recover" `Quick test_crash_aborts_then_recovery_preserves_data ]);
+       [ Alcotest.test_case "crash, abort, recover" `Quick test_crash_aborts_then_recovery_preserves_data;
+         Alcotest.test_case "replay at every truncation point" `Quick
+           test_wal_replay_every_truncation_point;
+         Alcotest.test_case "replay skips torn record" `Quick
+           test_wal_replay_skips_torn_record;
+         Alcotest.test_case "replay idempotent" `Quick test_wal_replay_idempotent;
+         Alcotest.test_case "mid-2PC crash releases locks" `Quick
+           test_mid_2pc_crash_releases_prepare_locks;
+         Alcotest.test_case "partition heals, retries succeed" `Quick
+           test_partition_heals_and_retries_succeed ]);
       ("accounting",
        [ Alcotest.test_case "storage and commits" `Quick test_storage_accounting ]) ]

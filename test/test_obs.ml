@@ -263,7 +263,7 @@ let traced_run () =
   Obs.Attr.reset ();
   Obs.Attr.enable ();
   Sim.run (fun () ->
-      let cluster = Cluster.create (Cluster.default_config ~shards:2 ()) in
+      let cluster = Cluster.create (Glassdb.Config.make ~shards:2 ()) in
       Cluster.start cluster;
       let sampler = Obs.Sampler.start ~interval:0.05 () in
       let client = Client.create cluster ~id:1 ~sk:"det-key" in

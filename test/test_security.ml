@@ -182,10 +182,12 @@ let test_ledger_verified_scan () =
 
 (* --- auditor forensics --- *)
 
-let with_cluster ?(shards = 2) ?(node = Node.default_config) f =
+let with_cluster ?(shards = 2) ?(batching = true) ?(sync_persist = false)
+    ?faults f =
   in_sim (fun () ->
       let cl =
-        Cluster.create { (Cluster.default_config ~shards ()) with Cluster.node }
+        Cluster.create
+          (Glassdb.Config.make ~shards ~batching ~sync_persist ?faults ())
       in
       Cluster.start cl;
       let v = f cl in
@@ -224,7 +226,7 @@ let test_user_digest_from_the_future () =
       (* Client verifies so its digest advances past the auditor's. *)
       (match Client.verified_get_latest c "f" with
        | Ok _ -> ()
-       | Error e -> Alcotest.failf "verified get: %s" e);
+       | Error e -> Alcotest.failf "verified get: %s" (Error.to_string e));
       let shard = Cluster.shard_of_key cl "f" in
       let user_digest = Client.digest_of_shard c shard in
       Alcotest.(check bool) "auditor catches up and accepts" true
@@ -239,9 +241,11 @@ let test_client_gossip () =
       (* a verifies (digest advances); b is stale. *)
       (match Client.verified_get_latest a "gs" with
        | Ok _ -> ()
-       | Error e -> Alcotest.failf "verified get: %s" e);
-      Alcotest.(check bool) "gossip ok between honest users" true
-        (Client.gossip a b);
+       | Error e -> Alcotest.failf "verified get: %s" (Error.to_string e));
+      (match Client.gossip a b with
+       | Ok () -> ()
+       | Error e ->
+         Alcotest.failf "gossip between honest users: %s" (Error.to_string e));
       let shard = Cluster.shard_of_key cl "gs" in
       Alcotest.(check bool) "stale user caught up" true
         (Ledger.digest_equal
@@ -249,6 +253,36 @@ let test_client_gossip () =
            (Client.digest_of_shard b shard));
       Alcotest.(check int) "no violations" 0
         (Client.verification_failures a + Client.verification_failures b))
+
+let test_gossip_fork_detected_under_packet_loss () =
+  (* A user restoring a forked digest must see [Proof_invalid] from gossip
+     even when the lossy link forces proof fetches to retry. *)
+  let faults = Faults.create ~drop:0.05 ~seed:9 () in
+  with_cluster ~shards:1 ~faults (fun cl ->
+      let mk id sk =
+        Client.create ~rpc_timeout:0.05 ~rpc_retries:6 ~retry_backoff:0.01 cl
+          ~id ~sk
+      in
+      let a = mk 1 "k1" and b = mk 2 "k2" in
+      for i = 0 to 9 do
+        ignore
+          (Client.execute a (fun h -> Client.put h "gf" (string_of_int i)))
+      done;
+      Sim.sleep 0.3;
+      (match Client.verified_get_latest a "gf" with
+       | Ok _ -> ()
+       | Error e -> Alcotest.failf "verified get: %s" (Error.to_string e));
+      (* b restores a fork: same block number as a's view, different root. *)
+      let d = Client.digest_of_shard a 0 in
+      Client.adopt_digest b ~shard:0
+        { d with Ledger.root = Hash.kv "evil" "root" };
+      (match Client.gossip a b with
+       | Error (Error.Proof_invalid _) -> ()
+       | Ok () -> Alcotest.fail "forked digest passed gossip"
+       | Error e ->
+         Alcotest.failf "expected Proof_invalid, got %s" (Error.to_string e));
+      Alcotest.(check bool) "violation counted" true
+        (Client.verification_failures a > 0))
 
 let test_checkpoint_truncates_wal () =
   with_cluster ~shards:1 (fun cl ->
@@ -273,11 +307,10 @@ let test_checkpoint_truncates_wal () =
 
 (* --- promises under every persistence mode --- *)
 
-let promise_roundtrip node_cfg =
-  with_cluster ~node:node_cfg (fun cl ->
+let promise_roundtrip ?batching ?sync_persist () =
+  with_cluster ?batching ?sync_persist (fun cl ->
       let c =
-        Client.create
-          ~config:{ Client.rpc_timeout = 1.0; verify_delay = 0.05 }
+        Client.create ~rpc_timeout:1.0 ~verify_delay:0.05
           cl ~id:1 ~sk:"k"
       in
       (* Write the same keys repeatedly so multi-version prediction is
@@ -288,7 +321,7 @@ let promise_roundtrip node_cfg =
               Client.put h (Printf.sprintf "p%d" (i mod 4)) (string_of_int i))
         with
         | Ok (_, promises) -> Client.queue_promises c promises
-        | Error e -> Alcotest.failf "commit %d: %s" i e
+        | Error e -> Alcotest.failf "commit %d: %s" i (Error.to_string e)
       done;
       Sim.sleep 0.5;
       let vs = Client.flush_verifications c () in
@@ -296,17 +329,15 @@ let promise_roundtrip node_cfg =
       Alcotest.(check int) "all promises verified" 30 keys;
       Alcotest.(check int) "no failures" 0 (Client.verification_failures c))
 
-let test_promises_batched_mode () = promise_roundtrip Node.default_config
+let test_promises_batched_mode () = promise_roundtrip ()
 
 let test_no_ba_predictions_with_readonly_participants () =
   (* Regression: a cross-shard transaction whose slice on some shard is
      read-only must not consume a block position there (it never produces
      a block), or every later promise on that shard lands one block late. *)
-  with_cluster ~shards:2
-    ~node:{ Node.default_config with Node.batching = false }
-    (fun cl ->
+  with_cluster ~shards:2 ~batching:false (fun cl ->
       let c =
-        Client.create ~config:{ Client.rpc_timeout = 1.0; verify_delay = 0.02 }
+        Client.create ~rpc_timeout:1.0 ~verify_delay:0.02
           cl ~id:1 ~sk:"k"
       in
       (* Find keys on both shards. *)
@@ -329,13 +360,13 @@ let test_no_ba_predictions_with_readonly_participants () =
                Client.put h k1 (Printf.sprintf "w%d" i))
          with
          | Ok (_, ps) -> Client.queue_promises c ps
-         | Error e -> Alcotest.failf "txn %d: %s" i e);
+         | Error e -> Alcotest.failf "txn %d: %s" i (Error.to_string e));
         (* Interleave writes on shard 0 whose promises must stay exact. *)
         (match
            Client.execute c (fun h -> Client.put h k0 (Printf.sprintf "x%d" i))
          with
          | Ok (_, ps) -> Client.queue_promises c ps
-         | Error e -> Alcotest.failf "shard0 txn %d: %s" i e)
+         | Error e -> Alcotest.failf "shard0 txn %d: %s" i (Error.to_string e))
       done;
       Sim.sleep 0.5;
       let vs = Client.flush_verifications c () in
@@ -348,10 +379,10 @@ let test_no_ba_predictions_with_readonly_participants () =
       Alcotest.(check int) "no failures" 0 (Client.verification_failures c))
 
 let test_promises_no_batching () =
-  promise_roundtrip { Node.default_config with Node.batching = false }
+  promise_roundtrip ~batching:false ()
 
 let test_promises_sync_persist () =
-  promise_roundtrip { Node.default_config with Node.sync_persist = true }
+  promise_roundtrip ~sync_persist:true ()
 
 (* --- serializability: concurrent increments never lose updates --- *)
 
@@ -423,7 +454,7 @@ let prop_recovery_preserves_committed_writes =
     (fun n ->
       with_cluster ~shards:1 (fun cl ->
           let c =
-            Client.create ~config:{ Client.rpc_timeout = 0.05; verify_delay = 0.1 }
+            Client.create ~rpc_timeout:0.05 ~verify_delay:0.1
               cl ~id:1 ~sk:"k"
           in
           let expected = Hashtbl.create 16 in
@@ -453,7 +484,7 @@ let prop_recovery_preserves_committed_writes =
 let test_dead_shard_read_times_out_not_hangs () =
   with_cluster ~shards:2 (fun cl ->
       let c =
-        Client.create ~config:{ Client.rpc_timeout = 0.05; verify_delay = 0.1 }
+        Client.create ~rpc_timeout:0.05 ~verify_delay:0.1
           cl ~id:1 ~sk:"k"
       in
       ignore (Client.execute c (fun h -> Client.put h "a" "1"));
@@ -487,6 +518,8 @@ let () =
            test_user_digest_from_the_future ]);
       ("gossip-checkpoint",
        [ Alcotest.test_case "user gossip" `Quick test_client_gossip;
+         Alcotest.test_case "fork under packet loss" `Quick
+           test_gossip_fork_detected_under_packet_loss;
          Alcotest.test_case "checkpoint + recovery" `Quick
            test_checkpoint_truncates_wal ]);
       ("promises",

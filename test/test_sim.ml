@@ -175,7 +175,7 @@ let test_net_latency () =
   let t = ref 0. in
   Sim.run (fun () ->
       let net = Net.create ~rtt:0.001 ~bandwidth:1000. () in
-      Net.rpc net ~req_bytes:100 ~resp_bytes:200 (fun () -> Sim.sleep 0.5);
+      ignore (Net.rpc net ~req_bytes:100 ~resp_bytes:200 (fun () -> Sim.sleep 0.5));
       t := Sim.now ());
   (* 0.0005 + 0.1 (req) + 0.5 (work) + 0.0005 + 0.2 (resp) = 0.801 *)
   Alcotest.(check (float 1e-9)) "rpc latency" 0.801 !t;
@@ -194,6 +194,79 @@ let test_many_processes () =
             incr done_count)
       done);
   Alcotest.(check int) "all completed" 10_000 !done_count
+
+(* --- fault injection --- *)
+
+let test_faults_schedule_in_time_order () =
+  (* Actions fire at their times regardless of insertion order. *)
+  let fired = ref [] in
+  Sim.run (fun () ->
+      let f = Faults.create ~seed:7 () in
+      Faults.schedule f ~at:2.0 (Faults.Restart 0);
+      Faults.schedule f ~at:1.0 (Faults.Crash 0);
+      Faults.schedule f ~at:1.5 (Faults.Partition 1);
+      Faults.schedule f ~at:1.8 (Faults.Heal 1);
+      Faults.run f
+        ~crash:(fun i -> fired := (Printf.sprintf "crash %d" i, Sim.now ()) :: !fired)
+        ~restart:(fun i ->
+          fired := (Printf.sprintf "restart %d" i, Sim.now ()) :: !fired));
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "crash then restart, at their times"
+    [ ("crash 0", 1.0); ("restart 0", 2.0) ]
+    (List.rev !fired);
+  ()
+
+let test_faults_partition_toggles_delivery () =
+  let during = ref true and after = ref false and other = ref false in
+  Sim.run (fun () ->
+      let f = Faults.create ~seed:7 () in
+      Faults.schedule f ~at:1.0 (Faults.Partition 1);
+      Faults.schedule f ~at:2.0 (Faults.Heal 1);
+      Faults.run f ~crash:ignore ~restart:ignore;
+      Sim.spawn (fun () ->
+          Sim.sleep 1.5;
+          during := Faults.deliver f ~shard:1 && not (Faults.partitioned f ~shard:1);
+          other := Faults.deliver f ~shard:0;
+          Sim.sleep 1.0;
+          after := Faults.deliver f ~shard:1));
+  Alcotest.(check bool) "partitioned link drops" false !during;
+  Alcotest.(check bool) "other links unaffected" true !other;
+  Alcotest.(check bool) "healed link delivers" true !after
+
+let test_faults_seeded_drops_deterministic () =
+  let draw seed =
+    let f = Faults.create ~drop:0.3 ~seed () in
+    List.init 200 (fun i -> Faults.deliver f ~shard:(i mod 4))
+  in
+  Alcotest.(check (list bool)) "same seed, same fate" (draw 11) (draw 11);
+  Alcotest.(check bool) "different seed differs" true (draw 11 <> draw 12);
+  let f = Faults.create ~drop:0.3 ~seed:11 () in
+  let delivered =
+    List.length (List.filter Fun.id (List.init 200 (fun _ -> Faults.deliver f ~shard:0)))
+  in
+  Alcotest.(check int) "drop counter exact" (200 - delivered) (Faults.drops f);
+  Alcotest.(check bool) "some dropped, some delivered" true
+    (delivered > 0 && delivered < 200)
+
+let test_faults_none_is_inert () =
+  let f = Faults.none () in
+  Alcotest.(check bool) "delivers" true (Faults.deliver f ~shard:0);
+  Alcotest.(check (float 0.)) "no delay" 0. (Faults.extra_delay f ~shard:0);
+  Alcotest.(check (list (pair (float 0.) string))) "empty trace" []
+    (Faults.trace f)
+
+let test_faults_trace_records_events () =
+  let tr = ref [] in
+  Sim.run (fun () ->
+      let f = Faults.create ~seed:3 () in
+      Faults.schedule f ~at:0.5 (Faults.Crash 2);
+      Faults.schedule f ~at:1.0 (Faults.Restart 2);
+      Faults.run f ~crash:ignore ~restart:ignore;
+      Sim.spawn (fun () ->
+          Sim.sleep 2.0;
+          tr := Faults.trace f));
+  Alcotest.(check (list string)) "events in order" [ "crash 2"; "restart 2" ]
+    (List.map snd !tr)
 
 let () =
   Alcotest.run "sim"
@@ -219,4 +292,14 @@ let () =
        [ Alcotest.test_case "capacity 1 serializes" `Quick test_resource_serializes;
          Alcotest.test_case "capacity 2" `Quick test_resource_capacity_two;
          Alcotest.test_case "release on exception" `Quick test_resource_release_on_exception ]);
-      ("net", [ Alcotest.test_case "rpc latency" `Quick test_net_latency ]) ]
+      ("net", [ Alcotest.test_case "rpc latency" `Quick test_net_latency ]);
+      ("faults",
+       [ Alcotest.test_case "schedule fires in time order" `Quick
+           test_faults_schedule_in_time_order;
+         Alcotest.test_case "partition toggles delivery" `Quick
+           test_faults_partition_toggles_delivery;
+         Alcotest.test_case "seeded drops deterministic" `Quick
+           test_faults_seeded_drops_deterministic;
+         Alcotest.test_case "none is inert" `Quick test_faults_none_is_inert;
+         Alcotest.test_case "trace records events" `Quick
+           test_faults_trace_records_events ]) ]

@@ -74,6 +74,39 @@ let test_wal_append_and_replay () =
   Alcotest.(check int) "after truncate" 1 (List.length (Wal.records_from w 0));
   Alcotest.(check int) "seq continues" 2 (Wal.append w ~kind:"commit" ~payload:"t2")
 
+let test_wal_truncate_after () =
+  let w = Wal.create () in
+  for i = 0 to 4 do
+    ignore (Wal.append w ~kind:"commit" ~payload:(Printf.sprintf "t%d" i))
+  done;
+  Wal.truncate_after w 2;
+  Alcotest.(check int) "prefix survives" 3 (List.length (Wal.records_from w 0));
+  Alcotest.(check int) "last_seq rewound" 2 (Wal.last_seq w);
+  (* The sequence counter rewinds with the tail: new appends reuse it. *)
+  Alcotest.(check int) "seq continues from cut" 3
+    (Wal.append w ~kind:"commit" ~payload:"t-new");
+  Wal.truncate_after w (-1);
+  Alcotest.(check int) "cut to empty" 0 (List.length (Wal.records_from w 0));
+  Alcotest.(check int) "empty last_seq" (-1) (Wal.last_seq w)
+
+let test_wal_tear_last () =
+  let w = Wal.create () in
+  ignore (Wal.append w ~kind:"commit" ~payload:"first");
+  ignore (Wal.append w ~kind:"commit" ~payload:"abcdef");
+  let before = Wal.size_bytes w in
+  Wal.tear_last w ~drop_bytes:3;
+  Alcotest.(check int) "record survives torn" 2
+    (List.length (Wal.records_from w 0));
+  let last = List.nth (Wal.records_from w 0) 1 in
+  Alcotest.(check string) "payload cut short" "abc" last.Wal.payload;
+  Alcotest.(check bool) "accounted bytes shrink" true (Wal.size_bytes w < before);
+  (* Tearing off at least the whole payload drops the record entirely. *)
+  Wal.tear_last w ~drop_bytes:64;
+  Alcotest.(check int) "fully torn record gone" 1
+    (List.length (Wal.records_from w 0));
+  Alcotest.(check string) "prefix intact" "first"
+    (List.hd (Wal.records_from w 0)).Wal.payload
+
 (* --- B+-tree --- *)
 
 let test_bptree_basic () =
@@ -176,7 +209,10 @@ let () =
        [ Alcotest.test_case "dedup" `Quick test_node_store_dedup;
          Alcotest.test_case "work accounting" `Quick test_node_store_work_accounting;
          Alcotest.test_case "cache accounting" `Quick test_node_store_cache_accounting ]);
-      ("wal", [ Alcotest.test_case "append and replay" `Quick test_wal_append_and_replay ]);
+      ("wal",
+       [ Alcotest.test_case "append and replay" `Quick test_wal_append_and_replay;
+         Alcotest.test_case "truncate_after" `Quick test_wal_truncate_after;
+         Alcotest.test_case "tear_last" `Quick test_wal_tear_last ]);
       ("bptree",
        [ Alcotest.test_case "basic" `Quick test_bptree_basic;
          Alcotest.test_case "5k keys, splits, sorted" `Quick test_bptree_many_and_sorted;

@@ -29,7 +29,8 @@ let rules =
       use the simulator clock, or Benchkit.Wallclock for bench reporting");
     ("D002",
      "no ambient randomness (global Random.*, Random.self_init); thread a \
-      seeded Random.State / Glassdb_util.Rng explicitly");
+      seeded Random.State / Glassdb_util.Rng explicitly, or use \
+      Faults.random_seed to pick a reportable seed interactively");
     ("D003",
      "no unordered Hashtbl.iter/fold/to_seq; drain through \
       Glassdb_util.Det (sorted_bindings / unordered_fold) or annotate");
@@ -166,7 +167,8 @@ let check_ident ctx (loc : Location.t) lid =
     add_finding ctx loc "D002"
       (Printf.sprintf
          "ambient randomness %s; thread a seeded Random.State or \
-          Glassdb_util.Rng explicitly"
+          Glassdb_util.Rng explicitly (the allowlisted Faults.random_seed \
+          is the one sanctioned site)"
          name)
   else if List.mem name unordered_idents then
     add_finding ctx loc "D003"
