@@ -1,0 +1,18 @@
+(* bench5-smoke: a tiny pool sweep (sizes 1 and 2) asserting the BENCH_5
+   schema and the determinism contract — every stage digest byte-identical
+   between the serial pool and a 2-domain pool.
+
+   Wired into `dune runtest` via the bench5-smoke alias, so a change that
+   makes any parallel path diverge from the serial one fails the test
+   suite even on a single-core host. *)
+
+let () =
+  let text = Bench5.run ~quick:true ~pool_sizes:[ 1; 2 ] () in
+  match Bench5.validate text with
+  | Ok () ->
+    print_endline
+      "bench5-smoke: BENCH_5.json schema OK (digests identical at pool \
+       sizes 1 and 2)"
+  | Error m ->
+    prerr_endline ("bench5-smoke: check FAILED: " ^ m);
+    exit 1

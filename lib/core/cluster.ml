@@ -82,6 +82,20 @@ let persister t nd =
   in
   loop ()
 
+(* Drain every live shard's committed backlog in one go, outside the
+   simulator's event loop (bench harnesses, end-of-run flushes).  Shards
+   share no state — each node owns its ledger, WAL and node store — so the
+   per-node drains fan out across the domain pool; block counts join in
+   shard order.  The tasks are Sim-free: [Node.persist] takes the
+   timestamp explicitly, and any nested pool use inside a drain (the tree
+   build) runs inline on the task's domain. *)
+let persist_all t ~now =
+  Glassdb_util.Pool.run
+    (Glassdb_util.Pool.global ())
+    (Array.to_list t.nodes
+    |> List.map (fun nd () -> if Node.alive nd then Node.persist nd ~now else 0))
+  |> List.fold_left ( + ) 0
+
 let crash_node t i =
   Obs.Trace.instant ~cat:"fault" ~attrs:[ ("shard", string_of_int i) ]
     "fault.crash";

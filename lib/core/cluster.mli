@@ -40,6 +40,13 @@ val call :
     configured one per call), exactly like a timed-out wire.
     Note a [Timeout] on the response leg means the handler DID run. *)
 
+val persist_all : t -> now:float -> int
+(** Drain every live shard's committed backlog into its ledger at
+    timestamp [now], outside the simulator (bench harnesses, end-of-run
+    flushes); shards share no state, so the drains run concurrently on the
+    domain pool ({!Glassdb_util.Pool}).  Returns the total number of
+    blocks appended.  Byte-identical to draining the shards one by one. *)
+
 val crash_node : t -> int -> unit
 (** Take the shard down (volatile state lost); emits a [fault.crash]
     marker and bumps [glassdb.fault.crashes]. *)

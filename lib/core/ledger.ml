@@ -383,6 +383,34 @@ let prove_inclusion_batch t keys ~block =
       bp_items = items }
   | _ -> invalid_arg "Ledger.prove_inclusion_batch: no such block"
 
+(* Serving a deferred-verification flush touches several blocks at once;
+   the per-block batch proofs are independent of each other, so their
+   assembly fans out across the domain pool.  State resolution stays
+   serial on the calling domain — rebuilding an evicted snapshot reads the
+   node store, and the store must observe the serial access order — while
+   the pool tasks only walk resident in-memory trees and serialize chunks.
+   Results join in block order, so the proof byte-strings and Work charges
+   are identical to mapping [prove_inclusion_batch] over the groups. *)
+let prove_inclusion_batches t groups =
+  let resolved =
+    List.map
+      (fun (block, keys) ->
+        match (header_at t block, state_at t block) with
+        | Some header, Some st -> (block, keys, header, st)
+        | _ -> invalid_arg "Ledger.prove_inclusion_batches: no such block")
+      groups
+  in
+  Pool.run (Pool.global ())
+    (List.map
+       (fun (block, keys, header, st) () ->
+         let lower, items = Pos_tree.prove_batch st keys in
+         { bp_block = block;
+           bp_header = header_bytes header;
+           bp_upper = Pos_tree.prove t.upper (block_key block);
+           bp_lower = lower;
+           bp_items = items })
+       resolved)
+
 (* Header and upper-tree inclusion are checked once for the whole batch;
    the multiproof then certifies every (key, payload) pair against the
    block's state root in one pass. *)
@@ -545,6 +573,9 @@ let prove_current t key =
 
 let prove_inclusion_batch t keys ~block =
   Work.with_component "proof" (fun () -> prove_inclusion_batch t keys ~block)
+
+let prove_inclusion_batches t groups =
+  Work.with_component "proof" (fun () -> prove_inclusion_batches t groups)
 
 let prove_scan t ~lo ~hi ?block () =
   Work.with_component "proof" (fun () -> prove_scan t ~lo ~hi ?block ())

@@ -76,6 +76,30 @@ let mk_chunk cfg ~leaf items =
     Storage.Node_store.put cfg.store hash (serialize_chunk ~leaf items);
   { items; hash }
 
+(* Build the chunks for a batch of item arrays.  The SHA-256 hashing — the
+   dominant cost of a tree build — fans out across the domain pool; the
+   store membership checks and writes then run serially on the calling
+   domain in submission order, so the store (and its LRU accounting)
+   observes exactly the serial operation sequence at any pool size.  Item
+   arrays within one batch are disjoint, so the per-item hash memos cannot
+   race. *)
+let build_chunks cfg ~leaf arrays =
+  match arrays with
+  | [] -> []
+  | [ items ] -> [ mk_chunk cfg ~leaf items ]
+  | _ ->
+    let arrs = Array.of_list arrays in
+    let hashes =
+      Pool.parallel_map (Pool.global ())
+        (fun items -> chunk_hash ~leaf items)
+        arrs
+    in
+    List.init (Array.length arrs) (fun i ->
+        let items = arrs.(i) and hash = hashes.(i) in
+        if not (Storage.Node_store.mem cfg.store hash) then
+          Storage.Node_store.put cfg.store hash (serialize_chunk ~leaf items);
+        { items; hash })
+
 let first_key c = Chunker.item_key c.items.(0)
 
 let mk_level chunks =
@@ -117,7 +141,7 @@ let rec build_up ?(depth = 0) cfg acc chunks =
     in
     let above =
       Chunker.chunk_seq_array ~pattern_bits:cfg.pattern_bits items
-      |> List.map (mk_chunk cfg ~leaf:false)
+      |> build_chunks cfg ~leaf:false
       |> Array.of_list
     in
     build_up ~depth:(depth + 1) cfg (mk_level chunks :: acc) above
@@ -128,7 +152,7 @@ let of_sorted_items cfg (items : Chunker.item array) count =
   else begin
     let leaves =
       Chunker.chunk_seq_array ~pattern_bits:cfg.pattern_bits items
-      |> List.map (mk_chunk cfg ~leaf:true)
+      |> build_chunks cfg ~leaf:true
       |> Array.of_list
     in
     { cfg; levels = Array.of_list (build_up cfg [] leaves); count }
@@ -299,24 +323,32 @@ let splice_region lv ~lo ~hi patches =
    touched by a pending patch and absorbs further chunks while (a) a patch
    starts inside or spans past the absorbed range, or (b) re-chunking ends
    without a boundary item, meaning the trailing chunk would swallow its
-   old successor. *)
+   old successor.
+
+   The work is phased for the domain pool: region discovery is a cheap
+   serial pre-pass (splicing and boundary fingerprints, no hashing), then
+   every region's new chunks are hashed in one parallel batch through
+   {!build_chunks}, then the output level and parent patches are assembled
+   serially — so the rebuilt level is byte-identical to the serial path. *)
 let rebuild_level cfg ~leaf lv patches =
   let n = Array.length lv.chunks in
   let patch_chunk p = chunk_of_pos lv p.start in
   let patch_end_chunk p =
     if p.stop > p.start then chunk_of_pos lv (p.stop - 1) else patch_chunk p
   in
-  let out = ref [] and parent_patches = ref [] in
-  let emit c = out := c :: !out in
+  (* Phase 1 — discovery: the output layout as kept-old-chunks and region
+     markers, plus each region's new item arrays and replaced chunk span. *)
+  let pieces = ref [] in
+  let regions = ref [] and nregions = ref 0 in
   let pending = ref patches in
   let i = ref 0 in
   while !i < n do
     match !pending with
     | [] ->
-      emit lv.chunks.(!i);
+      pieces := `Keep lv.chunks.(!i) :: !pieces;
       incr i
     | p :: _ when patch_chunk p > !i ->
-      emit lv.chunks.(!i);
+      pieces := `Keep lv.chunks.(!i) :: !pieces;
       incr i
     | _ ->
       let start_ci = !i in
@@ -361,19 +393,43 @@ let rebuild_level cfg ~leaf lv patches =
           pull ()
         end
       done;
-      let built = List.map (mk_chunk cfg ~leaf) !new_chunks in
-      List.iter emit built;
-      parent_patches :=
-        { start = start_ci;
-          stop = !j;
-          pitems =
-            List.map
-              (fun c -> Chunker.item ~key:(first_key c) ~payload:c.hash)
-              built }
-        :: !parent_patches;
+      pieces := `Region !nregions :: !pieces;
+      regions := (start_ci, !j, !new_chunks) :: !regions;
+      incr nregions;
       i := !j
   done;
-  (Array.of_list (List.rev !out), List.rev !parent_patches)
+  (* Phase 2 — hash all regions' chunks in one batch (parallel hashing,
+     serial store writes in left-to-right region order, exactly the order
+     the serial loop produced). *)
+  let regions = Array.of_list (List.rev !regions) in
+  let all_arrays =
+    Array.to_list regions |> List.concat_map (fun (_, _, arrs) -> arrs)
+  in
+  let built_all = Array.of_list (build_chunks cfg ~leaf all_arrays) in
+  let built_of = Array.make (Array.length regions) [] in
+  let off = ref 0 in
+  Array.iteri
+    (fun k (_, _, arrs) ->
+      let len = List.length arrs in
+      built_of.(k) <- Array.to_list (Array.sub built_all !off len);
+      off := !off + len)
+    regions;
+  (* Phase 3 — assemble the level and the patches to apply one level up. *)
+  let out =
+    List.rev !pieces
+    |> List.concat_map (function `Keep c -> [ c ] | `Region k -> built_of.(k))
+  in
+  let parent_patches =
+    Array.to_list regions
+    |> List.mapi (fun k (start_ci, stop_ci, _) ->
+           { start = start_ci;
+             stop = stop_ci;
+             pitems =
+               List.map
+                 (fun c -> Chunker.item ~key:(first_key c) ~payload:c.hash)
+                 built_of.(k) })
+  in
+  (Array.of_list out, parent_patches)
 
 let insert_batch t updates =
   match updates with
@@ -412,7 +468,7 @@ let insert_batch t updates =
           in
           let chunks =
             Chunker.chunk_seq_array ~pattern_bits:t.cfg.pattern_bits items
-            |> List.map (mk_chunk t.cfg ~leaf:false)
+            |> build_chunks t.cfg ~leaf:false
             |> Array.of_list
           in
           List.rev acc @ build_up t.cfg [] chunks

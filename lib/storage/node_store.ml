@@ -3,98 +3,158 @@ open Glassdb_util
 (* Doubly-linked LRU over the decoded-chunk cache.  The backing table is the
    simulated disk; the LRU models the server's in-memory decoded-node cache,
    so repeated fetches of hot chunks are charged as cheap cache hits rather
-   than page reads. *)
+   than page reads.
+
+   The store is lock-sharded for domain safety: a node's first hash byte
+   picks its shard, and each shard guards its own table + LRU with a
+   {!Pool.Lock}, so pool tasks touching disjoint nodes proceed without
+   contention.  Sharding is by content hash — a pure function of the data —
+   and the parallel call sites keep all store mutation serial on the
+   submitting domain anyway (see DESIGN.md §4g), so hit/miss sequences and
+   the Work charges they produce stay deterministic.  Small caches (below
+   two LRU slots per potential shard) collapse to a single shard, which
+   preserves the exact global-LRU eviction order the accounting tests pin
+   down. *)
 type lru_node = {
   lkey : Hash.t;
   mutable prev : lru_node option;
   mutable next : lru_node option;
 }
 
-type t = {
+type shard = {
+  lock : Pool.Lock.lock;
   table : (Hash.t, string) Hashtbl.t;
-  mutable bytes : int;
   cache : (Hash.t, lru_node) Hashtbl.t;
-  cache_capacity : int;
+  s_capacity : int;
+  mutable bytes : int;
   mutable lru_head : lru_node option; (* most recent *)
   mutable lru_tail : lru_node option; (* eviction candidate *)
   mutable hits : int;
   mutable misses : int;
 }
 
-let create ?(cache_capacity = 512) () =
-  { table = Hashtbl.create 1024;
-    bytes = 0;
-    cache = Hashtbl.create (max 16 cache_capacity);
-    cache_capacity = max 0 cache_capacity;
-    lru_head = None;
-    lru_tail = None;
-    hits = 0;
-    misses = 0 }
+type t = { shards : shard array; capacity : int }
 
-let unlink t n =
-  (match n.prev with Some p -> p.next <- n.next | None -> t.lru_head <- n.next);
-  (match n.next with Some s -> s.prev <- n.prev | None -> t.lru_tail <- n.prev);
+let max_shards = 16
+
+(* At least 32 LRU slots per shard, 1..16 shards; tiny caches stay
+   single-sharded so their eviction order matches the legacy global LRU. *)
+let shard_count capacity =
+  if capacity < 64 then 1 else min max_shards (capacity / 32)
+
+let create ?(cache_capacity = 512) () =
+  let capacity = max 0 cache_capacity in
+  let n = shard_count capacity in
+  let shards =
+    Array.init n (fun i ->
+        (* Spread the capacity across shards, remainder to the first. *)
+        let s_capacity = (capacity / n) + (if i < capacity mod n then 1 else 0) in
+        { lock = Pool.Lock.create ();
+          table = Hashtbl.create (max 64 (1024 / n));
+          cache = Hashtbl.create (max 16 s_capacity);
+          s_capacity;
+          bytes = 0;
+          lru_head = None;
+          lru_tail = None;
+          hits = 0;
+          misses = 0 })
+  in
+  { shards; capacity }
+
+let shard_of t (h : Hash.t) =
+  let n = Array.length t.shards in
+  if n = 1 then t.shards.(0)
+  else if String.length h = 0 then t.shards.(0)
+  else t.shards.(Char.code h.[0] mod n)
+
+let unlink s n =
+  (match n.prev with Some p -> p.next <- n.next | None -> s.lru_head <- n.next);
+  (match n.next with Some x -> x.prev <- n.prev | None -> s.lru_tail <- n.prev);
   n.prev <- None;
   n.next <- None
 
-let push_front t n =
-  n.next <- t.lru_head;
+let push_front s n =
+  n.next <- s.lru_head;
   n.prev <- None;
-  (match t.lru_head with Some h -> h.prev <- Some n | None -> t.lru_tail <- Some n);
-  t.lru_head <- Some n
+  (match s.lru_head with Some h -> h.prev <- Some n | None -> s.lru_tail <- Some n);
+  s.lru_head <- Some n
 
-let cache_insert t h =
-  if t.cache_capacity > 0 && not (Hashtbl.mem t.cache h) then begin
-    if Hashtbl.length t.cache >= t.cache_capacity then begin
-      match t.lru_tail with
+let cache_insert s h =
+  if s.s_capacity > 0 && not (Hashtbl.mem s.cache h) then begin
+    if Hashtbl.length s.cache >= s.s_capacity then begin
+      match s.lru_tail with
       | Some victim ->
-        unlink t victim;
-        Hashtbl.remove t.cache victim.lkey
+        unlink s victim;
+        Hashtbl.remove s.cache victim.lkey
       | None -> ()
     end;
     let n = { lkey = h; prev = None; next = None } in
-    push_front t n;
-    Hashtbl.replace t.cache h n
+    push_front s n;
+    Hashtbl.replace s.cache h n
   end
 
-let cache_touch t n =
-  if t.lru_head != Some n then begin
-    unlink t n;
-    push_front t n
+let cache_touch s n =
+  if s.lru_head != Some n then begin
+    unlink s n;
+    push_front s n
   end
 
 let put t h data =
-  if not (Hashtbl.mem t.table h) then begin
-    Hashtbl.replace t.table h data;
-    t.bytes <- t.bytes + String.length data + Hash.size;
-    Work.note_node_write ~bytes:(String.length data + Hash.size);
-    (* A freshly written node is hot: it joins the decoded cache. *)
-    cache_insert t h
-  end
+  let s = shard_of t h in
+  let fresh =
+    Pool.Lock.with_lock s.lock (fun () ->
+        if Hashtbl.mem s.table h then false
+        else begin
+          Hashtbl.replace s.table h data;
+          s.bytes <- s.bytes + String.length data + Hash.size;
+          (* A freshly written node is hot: it joins the decoded cache. *)
+          cache_insert s h;
+          true
+        end)
+  in
+  (* Work charges go to the calling domain's own accumulators — outside
+     the lock, so held time stays minimal. *)
+  if fresh then Work.note_node_write ~bytes:(String.length data + Hash.size)
 
 let get t h =
-  match Hashtbl.find_opt t.cache h with
-  | Some n ->
-    (* Decoded-chunk cache hit: no page fetched. *)
-    t.hits <- t.hits + 1;
-    cache_touch t n;
-    Work.note_cache_hit ();
-    Hashtbl.find_opt t.table h
-  | None ->
-    t.misses <- t.misses + 1;
-    (match Hashtbl.find_opt t.table h with
-     | Some data ->
-       (* Only a fetch that actually returns a node costs a page read; an
-          absent key is answered by the (in-memory) index alone. *)
-       Work.note_page_read ();
-       cache_insert t h;
-       Some data
-     | None -> None)
+  let s = shard_of t h in
+  let result, charge =
+    Pool.Lock.with_lock s.lock (fun () ->
+        match Hashtbl.find_opt s.cache h with
+        | Some n ->
+          (* Decoded-chunk cache hit: no page fetched. *)
+          s.hits <- s.hits + 1;
+          cache_touch s n;
+          (Hashtbl.find_opt s.table h, `Cache_hit)
+        | None ->
+          s.misses <- s.misses + 1;
+          (match Hashtbl.find_opt s.table h with
+           | Some data ->
+             (* Only a fetch that actually returns a node costs a page
+                read; an absent key is answered by the (in-memory) index
+                alone. *)
+             cache_insert s h;
+             (Some data, `Page_read)
+           | None -> (None, `Nothing)))
+  in
+  (match charge with
+   | `Cache_hit -> Work.note_cache_hit ()
+   | `Page_read -> Work.note_page_read ()
+   | `Nothing -> ());
+  result
 
-let mem t h = Hashtbl.mem t.table h
-let node_count t = Hashtbl.length t.table
-let total_bytes t = t.bytes
-let cache_hits t = t.hits
-let cache_misses t = t.misses
-let cache_capacity t = t.cache_capacity
-let cached_nodes t = Hashtbl.length t.cache
+let mem t h =
+  let s = shard_of t h in
+  Pool.Lock.with_lock s.lock (fun () -> Hashtbl.mem s.table h)
+
+let sum_shards t f =
+  Array.fold_left
+    (fun acc s -> acc + Pool.Lock.with_lock s.lock (fun () -> f s))
+    0 t.shards
+
+let node_count t = sum_shards t (fun s -> Hashtbl.length s.table)
+let total_bytes t = sum_shards t (fun s -> s.bytes)
+let cache_hits t = sum_shards t (fun s -> s.hits)
+let cache_misses t = sum_shards t (fun s -> s.misses)
+let cache_capacity t = t.capacity
+let cached_nodes t = sum_shards t (fun s -> Hashtbl.length s.cache)

@@ -9,7 +9,12 @@
     An LRU-bounded decoded-chunk cache sits in front of the store: a fetch
     served by the cache is charged as a (cheap) cache hit rather than a page
     read, so the simulation's cost model rewards locality the way a real
-    server's node cache would. *)
+    server's node cache would.
+
+    The store is domain-safe: the table and LRU are lock-sharded by the
+    node's first hash byte (up to 16 shards, at least 32 LRU slots each;
+    small caches collapse to one shard and so keep exact global-LRU
+    eviction order).  Work charges accrue to the calling domain. *)
 
 open Glassdb_util
 

@@ -1,0 +1,240 @@
+(* Deterministic fixed-size fork-join domain pool: see the .mli for the
+   determinism contract.  Tasks are claimed from a shared atomic counter in
+   whatever temporal order the domains reach it; results land at their
+   submission index and Work capture/absorb merges per-task counters back
+   in submission order, so output is byte-identical to the serial path. *)
+
+[@@@glassdb.lint.allow "D004"]
+(* This module is the sanctioned home of Domain.spawn / Mutex.create /
+   Condition.create (lint rule D004 confines ambient parallelism
+   primitives to lib/util/pool); the floating allow covers the file. *)
+
+type job = {
+  run_task : int -> unit;  (* runs task [i]; stores its own result/exn *)
+  n : int;
+  next : int Atomic.t;     (* next unclaimed task index *)
+  completed : int Atomic.t;
+}
+
+type t = {
+  psize : int;
+  lock : Mutex.t;
+  cond : Condition.t;      (* signals both new jobs and job completion *)
+  mutable job : job option;
+  mutable gen : int;       (* bumped per submission; wakes the workers *)
+  mutable stopped : bool;
+  mutable workers : unit Domain.t list;
+}
+
+(* Set while a domain is executing pool tasks: a nested submission from
+   inside a task runs inline on that domain, keeping helpers that use the
+   pool themselves (e.g. a tree build inside a parallel persist) safe. *)
+let in_task = Domain.DLS.new_key (fun () -> false)
+
+(* Claim and run tasks until the job's counter is exhausted; the domain
+   that completes the last task wakes the submitter. *)
+let drain t j =
+  let was = Domain.DLS.get in_task in
+  Domain.DLS.set in_task true;
+  Fun.protect
+    ~finally:(fun () -> Domain.DLS.set in_task was)
+    (fun () ->
+      let rec go () =
+        let i = Atomic.fetch_and_add j.next 1 in
+        if i < j.n then begin
+          j.run_task i;
+          if Int.equal (Atomic.fetch_and_add j.completed 1) (j.n - 1) then begin
+            Mutex.lock t.lock;
+            Condition.broadcast t.cond;
+            Mutex.unlock t.lock
+          end;
+          go ()
+        end
+      in
+      go ())
+
+let worker_loop t =
+  let last_gen = ref 0 in
+  let running = ref true in
+  while !running do
+    Mutex.lock t.lock;
+    while (not t.stopped) && Int.equal t.gen !last_gen do
+      Condition.wait t.cond t.lock
+    done;
+    if t.stopped then begin
+      Mutex.unlock t.lock;
+      running := false
+    end
+    else begin
+      let g = t.gen and j = t.job in
+      Mutex.unlock t.lock;
+      last_gen := g;
+      match j with None -> () | Some j -> drain t j
+    end
+  done
+
+let create psize =
+  if psize < 1 then invalid_arg "Pool.create: size must be >= 1";
+  let t =
+    { psize;
+      lock = Mutex.create ();
+      cond = Condition.create ();
+      job = None;
+      gen = 0;
+      stopped = false;
+      workers = [] }
+  in
+  if psize > 1 then
+    t.workers <-
+      List.init (psize - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let size t = t.psize
+
+let shutdown t =
+  if not t.stopped then begin
+    Mutex.lock t.lock;
+    t.stopped <- true;
+    Condition.broadcast t.cond;
+    Mutex.unlock t.lock;
+    List.iter Domain.join t.workers;
+    t.workers <- []
+  end
+
+(* Publish a job, help drain it, then block until the last task (possibly
+   on a worker) completes.  Atomic increments on [completed] order the
+   workers' result writes before the submitter's reads. *)
+let run_job t run_task n =
+  let j = { run_task; n; next = Atomic.make 0; completed = Atomic.make 0 } in
+  Mutex.lock t.lock;
+  t.job <- Some j;
+  t.gen <- t.gen + 1;
+  Condition.broadcast t.cond;
+  Mutex.unlock t.lock;
+  drain t j;
+  Mutex.lock t.lock;
+  while Atomic.get j.completed < n do
+    Condition.wait t.cond t.lock
+  done;
+  t.job <- None;
+  Mutex.unlock t.lock
+
+type 'b slot =
+  | Pending
+  | Done of 'b array * Work.task_work
+  | Raised of exn * Printexc.raw_backtrace
+
+let parallel_map ?chunk t f arr =
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else if t.psize = 1 || t.stopped || n < 2 || Domain.DLS.get in_task then
+    (* Inline path: the serial execution, verbatim — no captures, no
+       domains, no locks. *)
+    Array.map f arr
+  else begin
+    let chunk =
+      match chunk with
+      | Some c when c >= 1 -> c
+      | Some _ -> invalid_arg "Pool.parallel_map: chunk must be >= 1"
+      | None -> max 1 (n / (t.psize * 4))
+    in
+    let ntasks = (n + chunk - 1) / chunk in
+    if ntasks < 2 then Array.map f arr
+    else begin
+      let slots = Array.make ntasks Pending in
+      let run_task k =
+        let lo = k * chunk in
+        let len = min n (lo + chunk) - lo in
+        match
+          Work.capture (fun () -> Array.init len (fun i -> f arr.(lo + i)))
+        with
+        | vals, tw -> slots.(k) <- Done (vals, tw)
+        | exception e -> slots.(k) <- Raised (e, Printexc.get_raw_backtrace ())
+      in
+      run_job t run_task ntasks;
+      (* Join in submission order: absorb each task's work up to the first
+         raise, so counters match a serial run cut at that point. *)
+      let first_exn = ref None in
+      for k = 0 to ntasks - 1 do
+        if Option.is_none !first_exn then begin
+          match slots.(k) with
+          | Done (_, tw) -> Work.absorb tw
+          | Raised (e, bt) -> first_exn := Some (e, bt)
+          | Pending -> assert false
+        end
+      done;
+      match !first_exn with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None ->
+        let seed =
+          match slots.(0) with
+          | Done (vals, _) -> vals.(0)
+          | Pending | Raised _ -> assert false
+        in
+        let out = Array.make n seed in
+        Array.iteri
+          (fun k slot ->
+            match slot with
+            | Done (vals, _) ->
+              Array.blit vals 0 out (k * chunk) (Array.length vals)
+            | Pending | Raised _ -> assert false)
+          slots;
+        out
+    end
+  end
+
+let run t thunks =
+  match thunks with
+  | [] -> []
+  | _ ->
+    parallel_map ~chunk:1 t (fun g -> g ()) (Array.of_list thunks)
+    |> Array.to_list
+
+(* --- the process-global pool --- *)
+
+let env_size () =
+  match Sys.getenv_opt "GLASSDB_DOMAINS" with
+  | None -> 1
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+     | Some k when k >= 1 -> k
+     | Some _ | None -> 1)
+
+let global_pool : t option ref = ref None
+let requested_size = ref 0 (* 0 = not yet resolved from the environment *)
+let exit_hook = ref false
+
+let global_size () =
+  if !requested_size = 0 then requested_size := env_size ();
+  !requested_size
+
+let global () =
+  match !global_pool with
+  | Some p -> p
+  | None ->
+    let p = create (global_size ()) in
+    global_pool := Some p;
+    if not !exit_hook then begin
+      exit_hook := true;
+      at_exit (fun () ->
+          match !global_pool with Some p -> shutdown p | None -> ())
+    end;
+    p
+
+let set_global_size n =
+  if n < 1 then invalid_arg "Pool.set_global_size: size must be >= 1";
+  (match !global_pool with Some p -> shutdown p | None -> ());
+  global_pool := None;
+  requested_size := n
+
+(* --- locks for domain-safe shared structures --- *)
+
+module Lock = struct
+  type lock = Mutex.t
+
+  let create () = Mutex.create ()
+
+  let with_lock l f =
+    Mutex.lock l;
+    Fun.protect ~finally:(fun () -> Mutex.unlock l) f
+end

@@ -1,0 +1,85 @@
+(** Deterministic fixed-size fork-join domain pool.
+
+    GlassDB's hot paths — chunk hashing during a POS-tree build, multiproof
+    assembly across blocks, per-shard persistence — are embarrassingly
+    parallel, but the system's verifiability contract requires every run to
+    produce byte-identical digests, proofs and (virtual-time) metrics.  The
+    pool squares the two: tasks execute on worker domains in whatever
+    temporal order the scheduler picks, but results are joined *in
+    submission order*, and each task's {!Work} counters are captured on its
+    domain and absorbed on the submitting domain in that same order.  A
+    computation parallelized through the pool is therefore byte-identical
+    to its serial execution at any pool size.
+
+    Rules the call sites must follow (enforced by construction in this
+    repository, see DESIGN.md §4g):
+    - tasks must not mutate state shared with other tasks of the same
+      batch — shared stores are touched serially by the caller at the join;
+    - tasks must not perform simulator effects ([Sim.sleep], resources):
+      the simulator is a single-domain coroutine scheduler, so parallelism
+      lives *inside* a process's computation, never across the event loop;
+    - nested submissions run inline on the calling task's domain, so
+      helpers that use the pool themselves stay safe to call from tasks.
+
+    Size 1 degrades to inline execution with no captures, no locks and no
+    worker domains — the serial path, verbatim.  Lint rule D004 confines
+    [Domain.spawn] / [Mutex.create] to this module; other subsystems that
+    need a lock take a {!Lock.t}. *)
+
+type t
+
+val create : int -> t
+(** [create size] spawns [size - 1] worker domains (the submitting domain
+    itself executes tasks too).  [size >= 1]; raises [Invalid_argument]
+    otherwise. *)
+
+val size : t -> int
+
+val shutdown : t -> unit
+(** Stop and join the workers.  Idempotent.  Subsequent submissions run
+    inline. *)
+
+val run : t -> (unit -> 'a) list -> 'a list
+(** Execute the thunks (one task each) and return their results in input
+    order.  If any task raises, the first raise in submission order is
+    re-raised after the join; work of tasks before it is absorbed, work
+    after it is dropped. *)
+
+val parallel_map : ?chunk:int -> t -> ('a -> 'b) -> 'a array -> 'b array
+(** Map [f] over the array with tasks of [chunk] consecutive elements
+    (default: input size / 4×workers, at least 1).  Element results land at
+    their input indices; equal to [Array.map f] including {!Work}
+    accounting. *)
+
+(** {2 The process-global pool}
+
+    Library hot paths share one pool rather than threading a handle
+    through every call: its size comes from the [GLASSDB_DOMAINS]
+    environment variable (default 1 = serial) and can be reset
+    programmatically, e.g. by the bench5 sweep. *)
+
+val global : unit -> t
+(** The shared pool, created on first use with {!global_size} workers. *)
+
+val global_size : unit -> int
+(** Current global pool size: the last {!set_global_size}, else
+    [GLASSDB_DOMAINS], else 1. *)
+
+val set_global_size : int -> unit
+(** Replace the global pool (shutting down the previous one, if created).
+    Must not be called while pool tasks are in flight. *)
+
+(** {2 Locks}
+
+    The one sanctioned mutex constructor outside this module's internals:
+    domain-safe shared structures (the node store's cache shards, the
+    metrics registry) guard themselves with a [Lock.t] instead of an
+    ambient [Mutex.create] (lint rule D004). *)
+module Lock : sig
+  type lock
+
+  val create : unit -> lock
+
+  val with_lock : lock -> (unit -> 'a) -> 'a
+  (** Run [f] holding the lock; released on exception. *)
+end

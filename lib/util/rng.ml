@@ -15,6 +15,10 @@ let int64 t =
 
 let split t = { state = int64 t }
 
+let split_n t n =
+  if n < 0 then invalid_arg "Rng.split_n";
+  Array.init n (fun _ -> split t)
+
 let int_below t bound =
   if bound <= 0 then invalid_arg "Rng.int_below";
   (* Mask to 62 bits so the Int64 -> int conversion stays non-negative. *)

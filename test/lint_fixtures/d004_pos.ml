@@ -1,0 +1,3 @@
+(* Fixture: D004 positive — ambient domain spawn and raw mutex. *)
+let lock = Mutex.create ()
+let fire f = Domain.spawn f

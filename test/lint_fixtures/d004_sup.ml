@@ -1,0 +1,2 @@
+(* Fixture: D004 suppressed by a value-binding attribute. *)
+let fire f = Domain.spawn f [@@glassdb.lint.allow "D004"]

@@ -11,7 +11,7 @@ let fixture name = Filename.concat fixture_dir name
 
 let test_fixtures () =
   let results = Lint_engine.run_fixtures ~dir:fixture_dir in
-  Alcotest.(check bool) "found fixtures" true (List.length results >= 19);
+  Alcotest.(check bool) "found fixtures" true (List.length results >= 22);
   List.iter
     (fun r ->
       Alcotest.(check bool)
@@ -46,6 +46,8 @@ let test_rule_ids () =
   Alcotest.(check (list string)) "d001" [ "D001" ] (rules_of (fixture "d001_pos.ml"));
   Alcotest.(check (list string)) "d002" [ "D002" ] (rules_of (fixture "d002_pos.ml"));
   Alcotest.(check (list string)) "d003" [ "D003" ] (rules_of (fixture "d003_pos.ml"));
+  Alcotest.(check (list string)) "d004" [ "D004"; "D004" ]
+    (rules_of (fixture "d004_pos.ml"));
   Alcotest.(check (list string)) "s001" [ "S001"; "S001" ]
     (rules_of (fixture "s001_pos.ml"));
   Alcotest.(check (list string)) "s002" [ "S002"; "S002" ]

@@ -520,6 +520,62 @@ let prop_range_model =
       && Pos_tree.verify_range ~root ~lo ~hi ~bindings
            (Pos_tree.prove_range t ~lo ~hi))
 
+(* --- pool-size invariance ---
+
+   The determinism contract of Glassdb_util.Pool: build, update and batch
+   proving produce byte-identical results — roots, encoded proof bytes,
+   even the node store's counters — at every pool size.  Ten seeded random
+   workloads, each fingerprinted at sizes 1, 2, 4 and 8. *)
+
+let test_pool_size_invariance () =
+  let fingerprint ~seed ~pool_size =
+    Pool.set_global_size pool_size;
+    let rng = Rng.create seed in
+    let random_kvs n =
+      List.init n (fun _ ->
+          (Rng.alphanum rng (1 + Rng.int_below rng 8), Rng.alphanum rng 6))
+    in
+    let base = random_kvs (200 + Rng.int_below rng 600) in
+    let upd = random_kvs (50 + Rng.int_below rng 200) in
+    let keys =
+      List.init (1 + Rng.int_below rng 30) (fun _ ->
+          Rng.alphanum rng (1 + Rng.int_below rng 8))
+    in
+    let store, cfg = mk () in
+    let t1 = Pos_tree.insert_batch (Pos_tree.empty cfg) base in
+    let t2 = Pos_tree.insert_batch t1 upd in
+    let mp, items = Pos_tree.prove_batch t2 keys in
+    let buf = Buffer.create 4096 in
+    Pos_tree.encode_multiproof buf mp;
+    List.iter
+      (fun (k, v) ->
+        Buffer.add_string buf k;
+        Buffer.add_string buf (Option.value ~default:"<absent>" v))
+      items;
+    Printf.sprintf "%s|%s|%s|%d|%d|%d|%d"
+      (Hex.encode (Pos_tree.root_hash t1))
+      (Hex.encode (Pos_tree.root_hash t2))
+      (Hex.encode (Buffer.contents buf))
+      (Storage.Node_store.node_count store)
+      (Storage.Node_store.total_bytes store)
+      (Storage.Node_store.cache_hits store)
+      (Storage.Node_store.cache_misses store)
+  in
+  let orig = Pool.global_size () in
+  Fun.protect
+    ~finally:(fun () -> Pool.set_global_size orig)
+    (fun () ->
+      for seed = 1 to 10 do
+        let serial = fingerprint ~seed ~pool_size:1 in
+        List.iter
+          (fun n ->
+            Alcotest.(check string)
+              (Printf.sprintf "seed %d, pool %d = serial" seed n)
+              serial
+              (fingerprint ~seed ~pool_size:n))
+          [ 2; 4; 8 ]
+      done)
+
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
 let () =
@@ -556,6 +612,9 @@ let () =
       ("range",
        [ Alcotest.test_case "range queries + proofs" `Quick test_range_queries ]
        @ qsuite [ prop_range_model ]);
+      ("pool",
+       [ Alcotest.test_case "byte-identical at pool sizes 1/2/4/8" `Quick
+           test_pool_size_invariance ]);
       ("proofs",
        [ Alcotest.test_case "presence and absence" `Quick test_proofs_presence_absence;
          Alcotest.test_case "stale snapshot rejected" `Quick test_proof_stale_snapshot_rejected_on_new_root;

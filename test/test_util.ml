@@ -243,6 +243,242 @@ let test_work_measure () =
   Alcotest.(check int) "node write" 1 c2.Work.node_writes;
   Alcotest.(check int) "bytes" 100 c2.Work.bytes_written
 
+(* --- Lhist --- *)
+
+(* Merging two histograms is bucket-exact: the merged bucket list equals
+   the histogram that saw every sample directly, so quantile estimates
+   never depend on how the samples were partitioned across domains. *)
+let test_lhist_merge_bucket_alignment () =
+  let rng = Rng.create 7 in
+  let xs = Array.init 500 (fun _ -> Rng.float rng *. 10.) in
+  let a = Lhist.create () and b = Lhist.create () and all = Lhist.create () in
+  Array.iteri (fun i x -> Lhist.add (if i mod 2 = 0 then a else b) x) xs;
+  Array.iter (Lhist.add all) xs;
+  let m = Lhist.merge a b in
+  Alcotest.(check int) "count" (Lhist.count all) (Lhist.count m);
+  Alcotest.(check (float 1e-9)) "sum" (Lhist.sum all) (Lhist.sum m);
+  Alcotest.(check (float 0.)) "min" (Lhist.min_value all) (Lhist.min_value m);
+  Alcotest.(check (float 0.)) "max" (Lhist.max_value all) (Lhist.max_value m);
+  Alcotest.(check (list (triple (float 0.) (float 0.) int)))
+    "buckets align" (Lhist.buckets all) (Lhist.buckets m);
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 0.))
+        (Printf.sprintf "p%.0f" (p *. 100.))
+        (Lhist.percentile all p) (Lhist.percentile m p))
+    [ 0.5; 0.9; 0.99; 1.0 ]
+
+let test_lhist_merge_incompatible () =
+  let a = Lhist.create () in
+  let b = Lhist.create ~buckets_per_octave:4 () in
+  let c = Lhist.create ~lo:1e-6 () in
+  Alcotest.check_raises "bucket count mismatch"
+    (Invalid_argument "Lhist.merge: incompatible geometries") (fun () ->
+      ignore (Lhist.merge a b));
+  Alcotest.check_raises "lo mismatch"
+    (Invalid_argument "Lhist.merge: incompatible geometries") (fun () ->
+      ignore (Lhist.merge a c))
+
+(* --- Stats spill-aware merge --- *)
+
+let test_stats_merge_spilled () =
+  (* Push one side past the spill threshold; the merge must stay exact on
+     count/total/min/max and bucket-accurate on percentiles. *)
+  let rng = Rng.create 11 in
+  let n = 9000 in
+  let xs = Array.init n (fun _ -> Rng.float rng *. 4.) in
+  let a = Stats.create () and b = Stats.create () and all = Stats.create () in
+  Array.iter (Stats.add a) xs;
+  List.iter (Stats.add b) [ 0.25; 9.5 ];
+  Array.iter (Stats.add all) xs;
+  List.iter (Stats.add all) [ 0.25; 9.5 ];
+  Alcotest.(check bool) "a spilled" false (Stats.is_exact a);
+  Alcotest.(check bool) "b exact" true (Stats.is_exact b);
+  let m = Stats.merge a b in
+  Alcotest.(check bool) "merge spilled" false (Stats.is_exact m);
+  Alcotest.(check int) "count" (n + 2) (Stats.count m);
+  Alcotest.(check (float 1e-6)) "total" (Stats.total all) (Stats.total m);
+  Alcotest.(check (float 0.)) "min" (Stats.min_value all) (Stats.min_value m);
+  Alcotest.(check (float 0.)) "max" 9.5 (Stats.max_value m);
+  (* [all] is also spilled, so both sides answer from the same histogram
+     geometry: estimates must agree exactly. *)
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 0.))
+        (Printf.sprintf "p%.0f" (p *. 100.))
+        (Stats.percentile all p) (Stats.percentile m p))
+    [ 0.5; 0.9; 0.99 ]
+
+let test_stats_merge_both_spilled () =
+  let rng = Rng.create 13 in
+  let a = Stats.create () and b = Stats.create () and all = Stats.create () in
+  for _ = 1 to 9000 do
+    let x = Rng.float rng in
+    Stats.add a x;
+    Stats.add all x
+  done;
+  for _ = 1 to 9000 do
+    let x = 1. +. Rng.float rng in
+    Stats.add b x;
+    Stats.add all x
+  done;
+  let m = Stats.merge a b in
+  Alcotest.(check int) "count" 18000 (Stats.count m);
+  Alcotest.(check (float 1e-6)) "total" (Stats.total all) (Stats.total m);
+  Alcotest.(check (float 0.)) "p50" (Stats.percentile all 0.5)
+    (Stats.percentile m 0.5);
+  Alcotest.(check (float 0.)) "p99" (Stats.percentile all 0.99)
+    (Stats.percentile m 0.99)
+
+(* --- Rng.split_n --- *)
+
+let test_rng_split_n () =
+  (* split_n is repeated split in index order: same child states, and the
+     parent ends up at the same point. *)
+  let a = Rng.create 42 and b = Rng.create 42 in
+  let children = Rng.split_n a 8 in
+  let expected = Array.init 8 (fun _ -> Rng.split b) in
+  Alcotest.(check int) "eight streams" 8 (Array.length children);
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check int64)
+        (Printf.sprintf "stream %d first draw" i)
+        (Rng.int64 expected.(i)) (Rng.int64 c))
+    children;
+  Alcotest.(check int64) "parent advanced identically" (Rng.int64 b)
+    (Rng.int64 a);
+  Alcotest.(check int) "zero streams" 0 (Array.length (Rng.split_n a 0));
+  Alcotest.check_raises "negative" (Invalid_argument "Rng.split_n") (fun () ->
+      ignore (Rng.split_n a (-1)))
+
+(* --- Pool --- *)
+
+let with_pool n f =
+  let p = Pool.create n in
+  Fun.protect ~finally:(fun () -> Pool.shutdown p) (fun () -> f p)
+
+let test_pool_map_matches_serial () =
+  let input = Array.init 101 (fun i -> i) in
+  let f i = i * i in
+  let expected = Array.map f input in
+  List.iter
+    (fun n ->
+      with_pool n (fun p ->
+          Alcotest.(check (array int))
+            (Printf.sprintf "size %d" n)
+            expected
+            (Pool.parallel_map p f input)))
+    [ 1; 2; 4 ];
+  (* Explicit chunk sizes, including ones that do not divide the input. *)
+  with_pool 4 (fun p ->
+      List.iter
+        (fun chunk ->
+          Alcotest.(check (array int))
+            (Printf.sprintf "chunk %d" chunk)
+            expected
+            (Pool.parallel_map ~chunk p f input))
+        [ 1; 7; 100; 1000 ])
+
+let test_pool_run_order () =
+  with_pool 4 (fun p ->
+      Alcotest.(check (list string))
+        "results in submission order"
+        [ "a"; "b"; "c"; "d"; "e" ]
+        (Pool.run p
+           (List.map (fun s () -> s) [ "a"; "b"; "c"; "d"; "e" ])))
+
+let test_pool_exception () =
+  with_pool 2 (fun p ->
+      Alcotest.check_raises "first submission-order raise wins"
+        (Invalid_argument "task 3") (fun () ->
+          ignore
+            (Pool.parallel_map ~chunk:1 p
+               (fun i ->
+                 if i >= 3 then invalid_arg (Printf.sprintf "task %d" i);
+                 i)
+               (Array.init 8 (fun i -> i)))))
+
+let test_pool_work_merge () =
+  (* The Work counters measured around a parallel map equal the serial
+     measurement: captures absorb in submission order. *)
+  let body i =
+    Work.note_node_write ~bytes:(i * 10);
+    ignore (Hash.of_string (string_of_int i));
+    i
+  in
+  let input = Array.init 64 (fun i -> i) in
+  let expected, serial_work =
+    Work.measure (fun () -> Array.map body input)
+  in
+  List.iter
+    (fun n ->
+      with_pool n (fun p ->
+          let got, work =
+            Work.measure (fun () -> Pool.parallel_map p body input)
+          in
+          Alcotest.(check (array int))
+            (Printf.sprintf "values at size %d" n)
+            expected got;
+          Alcotest.(check int)
+            (Printf.sprintf "hashes at size %d" n)
+            serial_work.Work.hashes work.Work.hashes;
+          Alcotest.(check int)
+            (Printf.sprintf "bytes at size %d" n)
+            serial_work.Work.bytes_written work.Work.bytes_written))
+    [ 1; 2; 4 ]
+
+let test_pool_attribution_merge () =
+  (* Attribution accrued inside tasks lands in the submitting domain's
+     table, identical to the serial nesting. *)
+  let body i =
+    Work.with_component "postree" (fun () -> Work.note_hash ~n:(i + 1) ());
+    i
+  in
+  let input = Array.init 16 (fun i -> i) in
+  let serial_attr =
+    Work.set_attribution true;
+    ignore (Array.map body input);
+    let a = Work.attribution () in
+    Work.set_attribution false;
+    Work.reset_attribution ();
+    a
+  in
+  with_pool 4 (fun p ->
+      Work.set_attribution true;
+      ignore (Pool.parallel_map p body input);
+      let got = Work.attribution () in
+      Work.set_attribution false;
+      Work.reset_attribution ();
+      Alcotest.(check int) "one component" 1 (List.length got);
+      List.iter2
+        (fun (cs, sw) (cg, gw) ->
+          Alcotest.(check string) "component" cs cg;
+          Alcotest.(check int) "hashes" sw.Work.hashes gw.Work.hashes)
+        serial_attr got)
+
+let test_pool_nested_inline () =
+  (* A task that itself calls parallel_map must not deadlock: nested
+     submissions run inline on the task's domain. *)
+  with_pool 2 (fun p ->
+      let got =
+        Pool.parallel_map ~chunk:1 p
+          (fun i ->
+            Array.fold_left ( + ) 0
+              (Pool.parallel_map ~chunk:1 p (fun j -> i + j)
+                 (Array.init 4 (fun j -> j))))
+          (Array.init 6 (fun i -> i))
+      in
+      Alcotest.(check (array int)) "nested totals"
+        (Array.init 6 (fun i -> (4 * i) + 6))
+        got)
+
+let test_pool_shutdown_inline () =
+  let p = Pool.create 2 in
+  Pool.shutdown p;
+  Pool.shutdown p;
+  Alcotest.(check (list int)) "after shutdown runs inline" [ 1; 2 ]
+    (Pool.run p [ (fun () -> 1); (fun () -> 2) ])
+
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
 let () =
@@ -265,6 +501,7 @@ let () =
       ("rng",
        [ Alcotest.test_case "determinism" `Quick test_rng_determinism;
          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+         Alcotest.test_case "split_n" `Quick test_rng_split_n;
          Alcotest.test_case "float range" `Quick test_rng_float_range;
          Alcotest.test_case "shuffle is a permutation" `Quick test_rng_shuffle_permutation ]
        @ qsuite [ prop_int_below_in_range ]);
@@ -276,6 +513,22 @@ let () =
        [ Alcotest.test_case "basic accumulators" `Quick test_stats_basic;
          Alcotest.test_case "empty" `Quick test_stats_empty;
          Alcotest.test_case "merge" `Quick test_stats_merge;
+         Alcotest.test_case "merge spilled + exact" `Quick test_stats_merge_spilled;
+         Alcotest.test_case "merge both spilled" `Quick test_stats_merge_both_spilled;
          Alcotest.test_case "histogram" `Quick test_histogram ]);
+      ("lhist",
+       [ Alcotest.test_case "merge bucket alignment" `Quick
+           test_lhist_merge_bucket_alignment;
+         Alcotest.test_case "merge incompatible geometry" `Quick
+           test_lhist_merge_incompatible ]);
       ("work",
-       [ Alcotest.test_case "measure" `Quick test_work_measure ]) ]
+       [ Alcotest.test_case "measure" `Quick test_work_measure ]);
+      ("pool",
+       [ Alcotest.test_case "map matches serial" `Quick test_pool_map_matches_serial;
+         Alcotest.test_case "run preserves order" `Quick test_pool_run_order;
+         Alcotest.test_case "exception propagation" `Quick test_pool_exception;
+         Alcotest.test_case "work counter merge" `Quick test_pool_work_merge;
+         Alcotest.test_case "attribution merge" `Quick test_pool_attribution_merge;
+         Alcotest.test_case "nested runs inline" `Quick test_pool_nested_inline;
+         Alcotest.test_case "shutdown degrades to inline" `Quick
+           test_pool_shutdown_inline ]) ]

@@ -34,6 +34,11 @@ let rules =
     ("D003",
      "no unordered Hashtbl.iter/fold/to_seq; drain through \
       Glassdb_util.Det (sorted_bindings / unordered_fold) or annotate");
+    ("D004",
+     "no ambient Domain.spawn / Mutex.create / Condition.create; all \
+      parallelism and locking routes through Glassdb_util.Pool \
+      (lib/util/pool), whose deterministic joins keep parallel runs \
+      byte-identical to serial ones");
     ("S001",
      "no polymorphic =/<>/compare in lib/; use String.equal, Int.compare, \
       Hash.equal or a type-specific comparator");
@@ -68,6 +73,9 @@ let unordered_idents =
     "Hashtbl.to_seq_values" ]
 
 let partial_idents = [ "List.hd"; "List.tl"; "Option.get" ]
+
+let ambient_domain_idents =
+  [ "Domain.spawn"; "Mutex.create"; "Condition.create"; "Thread.create" ]
 
 let is_ambient_random name =
   (* Any global Random.* entry point is ambient state; Random.State.* is
@@ -176,6 +184,14 @@ let check_ident ctx (loc : Location.t) lid =
          "unordered %s; results must not feed hashing/serialization/export \
           — use Glassdb_util.Det.sorted_bindings, or \
           Det.unordered_fold/iter for commutative accumulation"
+         name)
+  else if List.mem name ambient_domain_idents then
+    add_finding ctx loc "D004"
+      (Printf.sprintf
+         "ambient concurrency primitive %s; route parallelism through \
+          Glassdb_util.Pool (run / parallel_map) and locking through \
+          Pool.Lock — lib/util/pool is the one sanctioned home of raw \
+          domains and mutexes"
          name)
   else begin
     match ctx.c_scope with
