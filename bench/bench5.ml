@@ -25,9 +25,11 @@ module Kv = Txnkit.Kv
    in formatting. *)
 open Bench1
 
-(* v2: stage rows carry both wall-clock runs and the cross-size digest
-   verdict (v1 was the speedup-only draft shape). *)
-let schema_id = "glassdb.bench5/v2"
+(* v3: adds a per-pool-size "prof" section (glassdb.prof/v1: per-domain
+   utilization, queue-wait histogram, per-lock contention) and a sampled
+   "metrics" section with its own cross-size digest verdict.  v2 carried
+   stage rows + digests only; v1 was the speedup-only draft shape. *)
+let schema_id = "glassdb.bench5/v3"
 
 type scale = {
   s_keys : int;          (* keys in the POS-tree build *)
@@ -166,13 +168,28 @@ let stage_macro ~quick =
 
 let run_stages ~quick () =
   let sc = scale ~quick in
+  (* Explicit sequencing: list elements evaluate right-to-left in OCaml,
+     and the metrics snapshot below must be taken right after the macro
+     stage — the persist stage's fresh cluster re-registers the node
+     gauges, which clears their sampled series. *)
   let (build, t) = stage_pos_build sc in
-  [ ("pos_build", build);
-    ("pos_update", stage_pos_update sc t);
-    ("proofs", stage_proofs sc);
-    ("persist", stage_persist sc);
-    ("micro", stage_micro ~quick);
-    ("macro", stage_macro ~quick) ]
+  let update = stage_pos_update sc t in
+  let proofs = stage_proofs sc in
+  let persist = stage_persist sc in
+  let micro = stage_micro ~quick in
+  let macro = stage_macro ~quick in
+  (* The driver resets the Obs registry at macro-run start, so this
+     snapshot covers exactly the macro stage above. *)
+  let metrics =
+    Obj (List.map (fun (k, v) -> (k, of_export v)) (Obs.Export.metrics_fields ()))
+  in
+  ( [ ("pos_build", build);
+      ("pos_update", update);
+      ("proofs", proofs);
+      ("persist", persist);
+      ("micro", micro);
+      ("macro", macro) ],
+    metrics )
 
 (* --- the sweep --- *)
 
@@ -183,15 +200,43 @@ let run ~quick ~pool_sizes () =
   if pool_sizes = [] then invalid_arg "Bench5.run: empty pool_sizes";
   let orig = Pool.global_size () in
   Fun.protect
-    ~finally:(fun () -> Pool.set_global_size orig)
+    ~finally:(fun () ->
+      Obs.Prof.disable ();
+      Pool.set_global_size orig)
     (fun () ->
+      (* Profile the whole sweep: wall-clock timings (this is a bench, not
+         a simulation), reset per pool size so each "prof" section covers
+         exactly one size's stages. *)
+      Obs.Prof.enable ~clock:Wallclock.now_s ();
       let runs =
         List.map
           (fun n ->
             Pool.set_global_size n;
+            Obs.Prof.reset ();
             Printf.printf "bench5: sweeping pool size %d\n%!" n;
-            (n, run_stages ~quick ()))
+            let stages, metrics = run_stages ~quick () in
+            let prof =
+              Obj
+                (("pool_size", Num (float_of_int n))
+                 :: List.map
+                      (fun (k, v) -> (k, of_export v))
+                      (Obs.Export.prof_fields ()))
+            in
+            (n, stages, prof, metrics))
           pool_sizes
+      in
+      let metrics_digests =
+        List.map (fun (_, _, _, m) -> sha_hex (to_string m)) runs
+      in
+      let metrics_digest_equal =
+        match metrics_digests with
+        | [] -> true
+        | d :: rest -> List.for_all (String.equal d) rest
+      in
+      let runs = List.map (fun (n, stages, _, _) -> (n, stages)) runs
+      and profs = List.map (fun (_, _, p, _) -> p) runs
+      and metrics0 =
+        match runs with (_, _, _, m) :: _ -> m | [] -> assert false
       in
       let stage_row name =
         let per_size =
@@ -233,7 +278,10 @@ let run ~quick ~pool_sizes () =
               Arr (List.map (fun n -> Num (float_of_int n)) pool_sizes));
              ("host_cores", Num (float_of_int (Domain.recommended_domain_count ())));
              ("stages", Arr (List.map snd rows));
-             ("digests_equal", Bool all_equal) ]))
+             ("digests_equal", Bool all_equal);
+             ("prof", Arr profs);
+             ("metrics", metrics0);
+             ("metrics_digest_equal", Bool metrics_digest_equal) ]))
 
 (* --- schema validation (used by the bench5-smoke alias) --- *)
 
@@ -302,6 +350,48 @@ let validate text =
          (fun n ->
            if not (List.mem n seen) then raise (Bad ("missing stage " ^ n)))
          stage_names;
+       (* v3: one glassdb.prof/v1 section per pool size, each with
+          per-domain rows covering exactly that pool size and at least one
+          named lock (the node-store shards are always exercised). *)
+       let profs =
+         match field "prof" j with
+         | Some (Arr l) -> l
+         | _ -> raise (Bad "prof must be an array")
+       in
+       if List.length profs <> List.length pool_sizes then
+         raise (Bad "prof length must match pool_sizes");
+       List.iter2
+         (fun size p ->
+           let n =
+             match size with Num n -> int_of_float n | _ -> assert false
+           in
+           require_num p "pool_size";
+           (match field "schema" p with
+            | Some (Str "glassdb.prof/v1") -> ()
+            | _ -> raise (Bad "prof schema tag"));
+           (match field "enabled" p with
+            | Some (Bool true) -> ()
+            | _ -> raise (Bad "prof.enabled"));
+           let pool =
+             match field "pool" p with
+             | Some (Obj _ as o) -> o
+             | _ -> raise (Bad "prof.pool")
+           in
+           require_num pool "busy_s";
+           require_num pool "tasks";
+           (match field "domains" pool with
+            | Some (Arr d) when List.length d = n -> ()
+            | _ -> raise (Bad "prof.pool.domains length must equal pool_size"));
+           (match field "locks" p with
+            | Some (Arr (_ :: _)) -> ()
+            | _ -> raise (Bad "prof.locks must be non-empty")))
+         pool_sizes profs;
+       (match field "metrics" j with
+        | Some (Obj _ as m) -> validate_metrics m
+        | _ -> raise (Bad "metrics section"));
+       (match field "metrics_digest_equal" j with
+        | Some (Bool true) -> ()
+        | _ -> raise (Bad "metrics digests differ across pool sizes"));
        Ok ()
      with Bad m -> Error m)
 

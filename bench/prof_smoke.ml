@@ -1,0 +1,150 @@
+(* prof-smoke: pin the profiler and causal-tracing output shapes under
+   `dune runtest`:
+
+   - overhead discipline: with profiling disabled, the PR-1 micro sweep
+     emits byte-identical JSON whether or not a profiled run happened
+     before it (the hooks are really off, not just quiet);
+   - the glassdb.prof/v1 JSON parses and carries per-domain rows plus
+     contention rows for the named locks the workload exercises
+     (node-store shards, the metrics registry);
+   - prof gauges registered after the harness reset show up as ph:"C"
+     counter events in the Chrome trace;
+   - causal propagation: remote node-side spans (prepare) and the
+     persister's persist span carry the originating client trace_id and a
+     non-zero parent_span_id. *)
+
+module Cluster = Glassdb.Cluster
+module Client = Glassdb.Client
+
+let fail msg =
+  prerr_endline ("prof-smoke: FAILED: " ^ msg);
+  exit 1
+
+let micro_text () =
+  Bench1.(to_string (Arr (List.map json_of_micro (micro_sweep ~quick:true))))
+
+let run_workload () =
+  Obs.Trace.enable ();
+  Obs.Metrics.reset ();
+  (* Enable after the registry reset so the prof gauges survive and get
+     sampled into counter tracks (sim clock: deterministic). *)
+  Obs.Prof.enable ();
+  Sim.run (fun () ->
+      let cluster = Cluster.create (Glassdb.Config.make ~shards:2 ()) in
+      Cluster.start cluster;
+      let sampler = Obs.Sampler.start ~interval:0.05 () in
+      let client = Client.create cluster ~id:1 ~sk:"smoke-key" in
+      for i = 1 to 60 do
+        let key = Printf.sprintf "key-%02d" (i mod 20) in
+        match
+          Client.execute client (fun t -> Client.put t key (string_of_int i))
+        with
+        | Ok (_, promises) -> Client.queue_promises client promises
+        | Error _ -> ()
+      done;
+      Sim.sleep 0.3;
+      ignore (Client.flush_verifications client ~force:true ());
+      Obs.Sampler.stop sampler;
+      Cluster.stop cluster)
+
+let () =
+  let open Bench1 in
+  (* --- byte-identity with profiling disabled --- *)
+  let before = micro_text () in
+  Obs.Prof.enable ();
+  ignore (micro_sweep ~quick:true);
+  Obs.Prof.disable ();
+  let after = micro_text () in
+  if not (String.equal before after) then
+    fail "micro sweep not byte-identical with profiling disabled";
+
+  (* --- profiled workload --- *)
+  run_workload ();
+  let prof =
+    match parse (Obs.Export.prof_json ()) with
+    | exception Bad m -> fail ("prof JSON malformed: " ^ m)
+    | j -> j
+  in
+  (match field "schema" prof with
+   | Some (Str "glassdb.prof/v1") -> ()
+   | _ -> fail "prof schema tag");
+  (match field "pool" prof with
+   | Some pool ->
+     require_num pool "busy_s";
+     (match field "domains" pool with
+      | Some (Arr (_ :: _)) -> ()
+      | _ -> fail "prof.pool.domains empty")
+   | None -> fail "prof.pool");
+  let lock_row name =
+    match field "locks" prof with
+    | Some (Arr rows) ->
+      (match
+         List.find_opt
+           (fun r -> field "name" r = Some (Str name))
+           rows
+       with
+       | Some r -> r
+       | None -> fail (Printf.sprintf "no %S row in prof.locks" name))
+    | _ -> fail "prof.locks"
+  in
+  List.iter
+    (fun name ->
+      match field "acquires" (lock_row name) with
+      | Some (Num a) when a > 0. -> ()
+      | _ -> fail (Printf.sprintf "prof.locks[%s].acquires must be > 0" name))
+    [ "metrics.registry"; "node_store.shard" ];
+
+  (* --- prof counter tracks + causal linkage in the Chrome trace --- *)
+  let trace =
+    match parse (Obs.Export.trace_json ()) with
+    | exception Bad m -> fail ("trace JSON malformed: " ^ m)
+    | j -> j
+  in
+  let events =
+    match field "traceEvents" trace with
+    | Some (Arr (_ :: _ as evs)) -> evs
+    | _ -> fail "traceEvents must be a non-empty array"
+  in
+  let name_of ev = match field "name" ev with Some (Str s) -> s | _ -> "" in
+  let ph_of ev = match field "ph" ev with Some (Str s) -> s | _ -> "" in
+  if
+    not
+      (List.exists
+         (fun ev ->
+           ph_of ev = "C"
+           && String.length (name_of ev) >= 13
+           && String.sub (name_of ev) 0 13 = "glassdb.prof.")
+         events)
+  then fail "no glassdb.prof.* counter events in trace";
+  let arg ev k =
+    match field "args" ev with Some a -> field k a | None -> None
+  in
+  let cat_of ev = match field "cat" ev with Some (Str s) -> s | _ -> "" in
+  let spans ~cat name =
+    List.filter
+      (fun ev -> ph_of ev = "X" && name_of ev = name && cat_of ev = cat)
+      events
+  in
+  let client_traces =
+    List.filter_map (fun ev -> arg ev "trace_id") (spans ~cat:"client" "execute")
+  in
+  if client_traces = [] then fail "no execute spans with a trace_id";
+  let linked ~cat name =
+    List.exists
+      (fun ev ->
+        match (arg ev "trace_id", arg ev "parent_span_id") with
+        | Some tid, Some (Num p) when p > 0. -> List.mem tid client_traces
+        | _ -> false)
+      (spans ~cat name)
+  in
+  (* Remote server-side span and the persister's span both nest under an
+     originating client execute span: the "node" category only ever comes
+     from the server side of an RPC or the persister process. *)
+  if not (linked ~cat:"node" "prepare") then
+    fail "no remote prepare span linked to a client trace";
+  if not (linked ~cat:"node" "persist") then
+    fail "no persist span linked to a client trace";
+  Obs.Prof.disable ();
+  Printf.printf
+    "prof-smoke: prof schema OK, %d trace events, cross-node spans linked\n"
+    (List.length events)

@@ -51,15 +51,17 @@ let coordinator_aborts t = List.rev t.abort_records
 
 (* Bounded retry with exponential backoff.  Dispatch is on the error
    CONSTRUCTOR — only transient transport errors ({!Error.retryable}) are
-   retried; conflicts, aborts and invalid proofs surface immediately. *)
-let with_retry t ~label f =
+   retried; conflicts, aborts and invalid proofs surface immediately.
+   [ctx] is the span the RPC belongs to: retry markers attach to its trace
+   instead of starting orphaned fresh events. *)
+let with_retry t ?ctx ~label f =
   let rec go attempt =
     match f () with
     | Ok _ as ok -> ok
     | Error e when Error.retryable e && attempt < t.rpc_retries ->
       t.retries <- t.retries + 1;
       Obs.Metrics.inc t.m_retries;
-      Obs.Trace.instant ~cat:"client" ~track:t.cid
+      Obs.Trace.instant ~cat:"client" ~track:t.cid ?parent:ctx
         ~attrs:[ ("op", label); ("attempt", string_of_int (attempt + 1)) ]
         "rpc.retry";
       Sim.sleep (t.retry_backoff *. (2. ** float_of_int attempt));
@@ -135,15 +137,17 @@ exception Abort of Error.t
 type handle = {
   client : t;
   tid : Kv.txn_id;
+  hctx : Obs.Trace.ctx; (* the enclosing execute span's trace context *)
   mutable reads : (Kv.key * Kv.version) list;
   buffer : (Kv.key, Kv.value) Hashtbl.t;
   mutable write_order : Kv.key list; (* newest first *)
 }
 
-let fresh_handle t =
+let fresh_handle t ~ctx =
   t.seq <- t.seq + 1;
   { client = t;
     tid = Kv.txn_id ~client:t.cid ~seq:t.seq;
+    hctx = ctx;
     reads = [];
     buffer = Hashtbl.create 8;
     write_order = [] }
@@ -155,8 +159,8 @@ let get h key =
     let t = h.client in
     let shard = Cluster.shard_of_key t.cluster key in
     (match
-       with_retry t ~label:"read" (fun () ->
-           Cluster.call t.cluster ~timeout:t.rpc_timeout ~shard
+       with_retry t ~ctx:h.hctx ~label:"read" (fun () ->
+           Cluster.call t.cluster ~timeout:t.rpc_timeout ~ctx:h.hctx ~shard
              ~req_bytes:(String.length key + 16)
              ~resp_bytes:(fun r ->
                match r with Some (v, _) -> String.length v + 16 | None -> 16)
@@ -219,7 +223,7 @@ let fan_out calls =
    budget either crashed (locks already wiped, replay conservatively
    aborts the undecided prepare) or will reject the stale tid later; the
    coordinator records the abort either way. *)
-let abort_round t ~tid per_shard =
+let abort_round t ?ctx ~tid per_shard =
   t.abort_records <- tid :: t.abort_records;
   ignore
     (fan_out
@@ -227,22 +231,22 @@ let abort_round t ~tid per_shard =
           (fun (shard, _) ->
             ( shard,
               fun () ->
-                with_retry t ~label:"abort" (fun () ->
-                    Cluster.call t.cluster ~timeout:t.rpc_timeout ~shard ~req_bytes:32
+                with_retry t ?ctx ~label:"abort" (fun () ->
+                    Cluster.call t.cluster ~timeout:t.rpc_timeout ?ctx ~shard ~req_bytes:32
                       ~resp_bytes:(fun _ -> 8)
                       (fun nd -> Node.abort nd tid)) ))
           per_shard))
 
 let execute t body =
-  Obs.Trace.span ~cat:"client" ~track:t.cid ~name:"execute" @@ fun () ->
-  let h = fresh_handle t in
+  Obs.Trace.span_ctx ~cat:"client" ~track:t.cid ~name:"execute" @@ fun ectx ->
+  let h = fresh_handle t ~ctx:ectx in
   match body h with
   | exception Abort err ->
     (* Unconditional cleanup: even though reads take no OCC locks, any
        shard this transaction already spoke to must forget the tid. *)
     (match rw_sets_by_shard h with
      | [] -> ()
-     | per_shard -> abort_round t ~tid:h.tid per_shard);
+     | per_shard -> abort_round t ~ctx:ectx ~tid:h.tid per_shard);
     Error err
   | value ->
     let per_shard = rw_sets_by_shard h in
@@ -259,14 +263,15 @@ let execute t body =
       in
       let stxn = Kv.sign ~sk:t.sk ~tid:h.tid ~client:t.cid full_rw in
       let verdicts =
-        Obs.Trace.span ~cat:"client" ~track:t.cid ~name:"prepare" (fun () ->
+        Obs.Trace.span_ctx ~cat:"client" ~track:t.cid ~parent:ectx
+          ~name:"prepare" (fun pctx ->
             fan_out
               (List.map
                  (fun (shard, rw) ->
                    ( shard,
                      fun () ->
-                       with_retry t ~label:"prepare" (fun () ->
-                           Cluster.call t.cluster ~timeout:t.rpc_timeout ~phase:("prepare", 1) ~shard
+                       with_retry t ~ctx:pctx ~label:"prepare" (fun () ->
+                           Cluster.call t.cluster ~timeout:t.rpc_timeout ~phase:("prepare", 1) ~ctx:pctx ~shard
                              ~req_bytes:(Kv.signed_txn_bytes stxn)
                              ~resp_bytes:(fun _ -> 8)
                              (fun nd -> Node.prepare nd ~rw stxn)) ))
@@ -279,17 +284,18 @@ let execute t body =
       in
       if all_ok then begin
         let promise_lists =
-          Obs.Trace.span ~cat:"client" ~track:t.cid ~name:"commit" (fun () ->
+          Obs.Trace.span_ctx ~cat:"client" ~track:t.cid ~parent:ectx
+            ~name:"commit" (fun cctx ->
               fan_out
                 (List.map
                    (fun (shard, _) ->
                      ( shard,
                        fun () ->
-                         with_retry t ~label:"commit" (fun () ->
-                             Cluster.call t.cluster ~timeout:t.rpc_timeout ~phase:("commit", 1) ~shard
+                         with_retry t ~ctx:cctx ~label:"commit" (fun () ->
+                             Cluster.call t.cluster ~timeout:t.rpc_timeout ~phase:("commit", 1) ~ctx:cctx ~shard
                                ~req_bytes:32
                                ~resp_bytes:(fun ps -> 16 + (48 * List.length ps))
-                               (fun nd -> Node.commit nd h.tid)) ))
+                               (fun nd -> Node.commit nd ~ctx:cctx h.tid)) ))
                    per_shard))
         in
         let promises =
@@ -303,7 +309,7 @@ let execute t body =
         (* Abort round: unconditional, with the same retry budget as any
            other RPC, so prepare state cannot leak on shards that answered
            Ok while a sibling conflicted or timed out. *)
-        abort_round t ~tid:h.tid per_shard;
+        abort_round t ~ctx:ectx ~tid:h.tid per_shard;
         let err =
           (* A conflict is the most informative verdict; otherwise the
              first transport error explains the abort. *)
@@ -372,12 +378,14 @@ let check_read t shard key expected (vr : Node.verified_read) ~current =
     v_keys = 1 }
 
 let verified_get_latest t key =
+  Obs.Trace.span_ctx ~cat:"client" ~track:t.cid ~name:"verified-get"
+  @@ fun vctx ->
   let shard = Cluster.shard_of_key t.cluster key in
   let from = t.digests.(shard) in
   let started = Sim.now () in
   match
-    with_retry t ~label:"verified-get" (fun () ->
-        Cluster.call t.cluster ~timeout:t.rpc_timeout ~shard ~req_bytes:(String.length key + 64)
+    with_retry t ~ctx:vctx ~label:"verified-get" (fun () ->
+        Cluster.call t.cluster ~timeout:t.rpc_timeout ~ctx:vctx ~shard ~req_bytes:(String.length key + 64)
           ~resp_bytes:(fun r ->
             match r with
             | Some vr ->
@@ -394,12 +402,14 @@ let verified_get_latest t key =
     Ok (vr.Node.vr_value, v)
 
 let verified_get_at t key ~block =
+  Obs.Trace.span_ctx ~cat:"client" ~track:t.cid ~name:"verified-get-at"
+  @@ fun vctx ->
   let shard = Cluster.shard_of_key t.cluster key in
   let from = t.digests.(shard) in
   let started = Sim.now () in
   match
-    with_retry t ~label:"verified-get-at" (fun () ->
-        Cluster.call t.cluster ~timeout:t.rpc_timeout ~shard ~req_bytes:(String.length key + 72)
+    with_retry t ~ctx:vctx ~label:"verified-get-at" (fun () ->
+        Cluster.call t.cluster ~timeout:t.rpc_timeout ~ctx:vctx ~shard ~req_bytes:(String.length key + 72)
           ~resp_bytes:(fun r ->
             match r with
             | Some vr ->
@@ -433,9 +443,9 @@ let flush_verifications t ?(force = false) () =
   t.pending <- not_due;
   if due = [] then []
   else begin
-    Obs.Trace.span ~cat:"client" ~track:t.cid ~name:"deferred-verify"
+    Obs.Trace.span_ctx ~cat:"client" ~track:t.cid ~name:"deferred-verify"
       ~attrs:[ ("keys", string_of_int (List.length due)) ]
-    @@ fun () ->
+    @@ fun fctx ->
     (* Batch by shard: one get-proof request carrying all due promises. *)
     let by_shard = Hashtbl.create 4 in
     List.iter
@@ -450,7 +460,7 @@ let flush_verifications t ?(force = false) () =
         let from = t.digests.(shard) in
         let started = Sim.now () in
         let reply =
-          Cluster.call t.cluster ~timeout:t.rpc_timeout ~phase:("get-proof", List.length ps) ~shard
+          Cluster.call t.cluster ~timeout:t.rpc_timeout ~phase:("get-proof", List.length ps) ~ctx:fctx ~shard
             ~req_bytes:(64 * List.length ps)
             ~resp_bytes:(fun (proofs, appendp, _) ->
               List.fold_left

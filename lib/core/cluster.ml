@@ -57,8 +57,12 @@ let persister t nd =
             while !continue_ && t.running && Node.alive nd do
               decr budget;
               let stepped, dt =
+                (* Parent: the earliest client commit span whose writes
+                   are still unpersisted, so a client-originated trace
+                   reaches its remote persist child. *)
                 Obs.Trace.span ~cat:"node"
                   ~track:(1000 + Node.shard_id nd) ~name:"persist"
+                  ?parent:(Node.take_persist_ctx nd)
                   (fun () ->
                     charged_call cost nd (fun () ->
                         Node.persist_step nd ~now:(Sim.now ())))
@@ -122,7 +126,7 @@ let stop t = t.running <- false
    Failures surface as typed errors, always after the caller has slept out
    the full [rpc_timeout] — a lost request, a lost response and a dead
    node are indistinguishable on the wire. *)
-let call t ?timeout ?phase ~shard ~req_bytes ~resp_bytes f =
+let call t ?timeout ?phase ?ctx ~shard ~req_bytes ~resp_bytes f =
   let nd = t.nodes.(shard) in
   let started = Sim.now () in
   let rpc_timeout =
@@ -134,15 +138,26 @@ let call t ?timeout ?phase ~shard ~req_bytes ~resp_bytes f =
     Error err
   in
   let span_name = match phase with Some (n, _) -> n | None -> "rpc" in
-  if not (Net.try_send t.net ~link:shard ~bytes_len:req_bytes) then
-    failed (Error.Timeout span_name)
+  (* Fault-injected drops/delays annotate the originating span's trace, so
+     a retried RPC's history stays attached to the client span that paid
+     for it. *)
+  let note leg kind =
+    Obs.Trace.instant ~cat:"fault" ~track:(1000 + shard) ?parent:ctx
+      ~attrs:[ ("op", span_name); ("leg", leg) ]
+      ("net." ^ kind)
+  in
+  if not (Net.try_send t.net ~note:(note "request") ~link:shard
+            ~bytes_len:req_bytes ())
+  then failed (Error.Timeout span_name)
   else if not (Node.alive nd) then failed (Error.Node_down shard)
   else begin
     (* Server-side latency = queueing for a worker + charged service time;
-       recorded per phase for the cost-breakdown figures. *)
+       recorded per phase for the cost-breakdown figures.  The server span
+       is parented on the caller's context, crossing the RPC boundary. *)
     let arrived = Sim.now () in
     let v, _ =
-      Obs.Trace.span ~cat:"node" ~track:(1000 + shard) ~name:span_name
+      Obs.Trace.span ~cat:"node" ~track:(1000 + shard) ?parent:ctx
+        ~name:span_name
         (fun () ->
           Sim.Resource.use (Node.workers nd) (fun () ->
               charged_call t.cfg.Config.cost nd (fun () -> f nd)))
@@ -152,7 +167,10 @@ let call t ?timeout ?phase ~shard ~req_bytes ~resp_bytes f =
        Node.note_phase nd name ((Sim.now () -. arrived) /. float_of_int keys)
      | _ -> ());
     if not (Node.alive nd) then failed (Error.Node_down shard)
-    else if not (Net.try_send t.net ~link:shard ~bytes_len:(resp_bytes v))
+    else if
+      not
+        (Net.try_send t.net ~note:(note "response") ~link:shard
+           ~bytes_len:(resp_bytes v) ())
     then failed (Error.Timeout span_name)
     else Ok v
   end

@@ -48,6 +48,10 @@ type t = {
   stats : (string, Stats.t) Hashtbl.t;
   mutable commits : int;
   mutable aborts : int;
+  (* Trace context of the earliest commit whose writes are still
+     unpersisted: the persister adopts it as the persist span's parent, so
+     a client-originated trace reaches its remote persist child. *)
+  mutable persist_ctx : Obs.Trace.ctx option;
   (* Observability handles (hot-path: a field update, no registry probe). *)
   labels : (string * string) list;
   m_commits : Obs.Metrics.counter;
@@ -102,6 +106,7 @@ let create cfg ~shard_id =
       stats = Hashtbl.create 8;
       commits = 0;
       aborts = 0;
+      persist_ctx = None;
       labels;
       m_commits = Obs.Metrics.counter ~name:"glassdb.node.commits" ~labels ();
       m_aborts = Obs.Metrics.counter ~name:"glassdb.node.aborts" ~labels () }
@@ -293,10 +298,19 @@ let prepare t ~rw stxn =
     verdict
   end
 
-let commit t tid =
+let take_persist_ctx t =
+  let c = t.persist_ctx in
+  t.persist_ctx <- None;
+  c
+
+let commit t ?ctx tid =
   match Occ.commit t.occ ~tid with
   | None -> []
   | Some rw ->
+    (match ctx with
+     | Some c when c.Obs.Trace.trace_id <> 0 && t.persist_ctx = None ->
+       t.persist_ctx <- Some c
+     | _ -> ());
     t.commits <- t.commits + 1;
     Obs.Metrics.inc t.m_commits;
     ignore

@@ -52,10 +52,18 @@ val prepare : t -> rw:Kv.rw_set -> Kv.signed_txn -> Txnkit.Occ.verdict
     transaction (signed once by the client over all shards) to the WAL.
     Full transaction queues abort with a conflict verdict. *)
 
-val commit : t -> Kv.txn_id -> promise list
+val commit : t -> ?ctx:Obs.Trace.ctx -> Kv.txn_id -> promise list
 (** Apply the prepared write set to the committed-data map (or, in
     sync-persist mode, straight to the ledger); returns one promise per
-    written key.  Unknown/aborted transactions return []. *)
+    written key.  Unknown/aborted transactions return [].  [ctx] (the
+    originating client span's trace context, carried over the RPC) is
+    remembered — first writer since the last persist wins — and handed to
+    the persister via {!take_persist_ctx} so the eventual persist span
+    links back to the client trace. *)
+
+val take_persist_ctx : t -> Obs.Trace.ctx option
+(** Pop the trace context of the earliest still-unpersisted commit, if
+    any; used by the persister to parent its next persist span. *)
 
 val abort : t -> Kv.txn_id -> unit
 

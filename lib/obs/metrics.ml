@@ -36,7 +36,7 @@ let registry : (string * labels, metric) Hashtbl.t = Hashtbl.create 64
    paths (inc/observe) stay lock-free field updates: a handle is private to
    whichever domain's task is charging it, and tasks merge deterministically
    at pool joins (see Glassdb_util.Pool). *)
-let registry_lock = Pool.Lock.create ()
+let registry_lock = Pool.Lock.create ~name:"metrics.registry" ()
 
 let reset () = Pool.Lock.with_lock registry_lock (fun () -> Hashtbl.reset registry)
 

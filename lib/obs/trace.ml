@@ -13,7 +13,19 @@ type event = {
   ev_ts : float;    (* virtual seconds *)
   ev_dur : float;   (* virtual seconds *)
   ev_attrs : (string * string) list;
+  ev_trace : int;   (* trace id; 0 = none *)
+  ev_span : int;    (* this span's id; 0 = none (instants) *)
+  ev_parent : int;  (* parent span id; 0 = root *)
 }
+
+(* Causal context carried across RPC boundaries: a root span starts a
+   trace (trace_id = its own span id) and children anywhere — including on
+   a remote shard's track — inherit the trace id and record their parent's
+   span id.  Ids come from one counter reset by [clear], so identical runs
+   number identically. *)
+type ctx = { trace_id : int; span_id : int }
+
+let null_ctx = { trace_id = 0; span_id = 0 }
 
 type state = {
   mutable enabled : bool;
@@ -21,18 +33,24 @@ type state = {
   mutable n_events : int;
   mutable capacity : int;
   mutable dropped : int;
+  mutable next_id : int;
 }
 
 let st =
   { enabled = false; events = []; n_events = 0; capacity = 200_000;
-    dropped = 0 }
+    dropped = 0; next_id = 0 }
 
 let enabled () = st.enabled
 
 let clear () =
   st.events <- [];
   st.n_events <- 0;
-  st.dropped <- 0
+  st.dropped <- 0;
+  st.next_id <- 0
+
+let fresh_id () =
+  st.next_id <- st.next_id + 1;
+  st.next_id
 
 let enable ?(capacity = 200_000) () =
   clear ();
@@ -50,23 +68,37 @@ let record ev =
     st.n_events <- st.n_events + 1
   end
 
-let span ?(cat = "glassdb") ?(track = 0) ?(attrs = []) ~name f =
-  if not st.enabled then f ()
+let span_ctx ?(cat = "glassdb") ?(track = 0) ?(attrs = []) ?parent ~name f =
+  if not st.enabled then f null_ctx
   else begin
+    let parent = match parent with Some p -> p | None -> null_ctx in
+    let id = fresh_id () in
+    let ctx =
+      if parent.trace_id = 0 then { trace_id = id; span_id = id }
+      else { trace_id = parent.trace_id; span_id = id }
+    in
     let t0 = now () in
     Fun.protect
       ~finally:(fun () ->
         record
           { ev_name = name; ev_cat = cat; ev_track = track; ev_ts = t0;
-            ev_dur = now () -. t0; ev_attrs = attrs })
-      f
+            ev_dur = now () -. t0; ev_attrs = attrs; ev_trace = ctx.trace_id;
+            ev_span = ctx.span_id; ev_parent = parent.span_id })
+      (fun () -> f ctx)
   end
 
-let instant ?(cat = "glassdb") ?(track = 0) ?(attrs = []) name =
-  if st.enabled then
+let span ?(cat = "glassdb") ?(track = 0) ?(attrs = []) ?parent ~name f =
+  if not st.enabled then f ()
+  else span_ctx ~cat ~track ~attrs ?parent ~name (fun _ctx -> f ())
+
+let instant ?(cat = "glassdb") ?(track = 0) ?(attrs = []) ?parent name =
+  if st.enabled then begin
+    let parent = match parent with Some p -> p | None -> null_ctx in
     record
       { ev_name = name; ev_cat = cat; ev_track = track; ev_ts = now ();
-        ev_dur = -1.; ev_attrs = attrs }
+        ev_dur = -1.; ev_attrs = attrs; ev_trace = parent.trace_id;
+        ev_span = 0; ev_parent = parent.span_id }
+  end
 
 let events () = List.rev st.events
 let event_count () = st.n_events

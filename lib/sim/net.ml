@@ -21,13 +21,21 @@ let send t ~bytes_len =
 
 (* A fault-aware message on a shard's link: the sender always pays the
    transfer (it cannot know the message was lost), then any injected extra
-   delay; [false] means the message never arrives. *)
-let try_send t ~link ~bytes_len =
+   delay; [false] means the message never arrives.  [note] is invoked with
+   "delay" / "drop" as faults hit the message, so callers can annotate the
+   affected span without this layer depending on the tracing stack. *)
+let try_send t ?note ~link ~bytes_len () =
   t.bytes <- t.bytes + bytes_len;
   Sim.sleep (one_way t ~bytes_len);
+  let tell kind = match note with Some fn -> fn kind | None -> () in
   let extra = Faults.extra_delay t.faults ~shard:link in
-  if extra > 0. then Sim.sleep extra;
-  Faults.deliver t.faults ~shard:link
+  if extra > 0. then begin
+    tell "delay";
+    Sim.sleep extra
+  end;
+  let delivered = Faults.deliver t.faults ~shard:link in
+  if not delivered then tell "drop";
+  delivered
 
 let rpc t ?link ~req_bytes ~resp_bytes f =
   match link with
@@ -37,10 +45,10 @@ let rpc t ?link ~req_bytes ~resp_bytes f =
     send t ~bytes_len:resp_bytes;
     Some v
   | Some link ->
-    if not (try_send t ~link ~bytes_len:req_bytes) then None
+    if not (try_send t ~link ~bytes_len:req_bytes ()) then None
     else begin
       let v = f () in
-      if try_send t ~link ~bytes_len:resp_bytes then Some v else None
+      if try_send t ~link ~bytes_len:resp_bytes () then Some v else None
     end
 
 let bytes_sent t = t.bytes

@@ -20,10 +20,15 @@ val send : t -> bytes_len:int -> unit
 (** Suspend the calling process for the one-way latency (fault-free path:
     control messages that the model treats as reliable). *)
 
-val try_send : t -> link:int -> bytes_len:int -> bool
+val try_send :
+  t -> ?note:(string -> unit) -> link:int -> bytes_len:int -> unit -> bool
 (** One message on shard [link]'s link: pays the one-way latency plus any
     injected extra delay, then reports whether the message was delivered
-    ([false] = dropped or partitioned; the sender finds out by timeout). *)
+    ([false] = dropped or partitioned; the sender finds out by timeout).
+    [note] fires with ["delay"] / ["drop"] as faults hit the message —
+    the hook through which RPC layers annotate the affected trace span
+    (this module sits below the tracing stack and cannot emit events
+    itself). *)
 
 val rpc :
   t -> ?link:int -> req_bytes:int -> resp_bytes:int -> (unit -> 'a) ->

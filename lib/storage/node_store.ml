@@ -49,7 +49,7 @@ let create ?(cache_capacity = 512) () =
     Array.init n (fun i ->
         (* Spread the capacity across shards, remainder to the first. *)
         let s_capacity = (capacity / n) + (if i < capacity mod n then 1 else 0) in
-        { lock = Pool.Lock.create ();
+        { lock = Pool.Lock.create ~name:"node_store.shard" ();
           table = Hashtbl.create (max 64 (1024 / n));
           cache = Hashtbl.create (max 16 s_capacity);
           s_capacity;

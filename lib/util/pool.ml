@@ -16,6 +16,49 @@ type job = {
   completed : int Atomic.t;
 }
 
+(* --- profiling hooks (installed by Obs.Prof) ---
+
+   The pool carries no policy of its own: when a profiler is installed it
+   times each task (claim wait relative to job publication, run time) with
+   the profiler's clock and hands the per-job sample to the hook at the
+   join, on the submitting domain.  With no profiler installed the hot
+   paths pay exactly one atomic load and the output bytes are identical
+   either way — profiling never changes what the pool computes, only what
+   it reports. *)
+
+type task_sample = {
+  ts_domain : int;   (* 0 = the submitting domain, workers are 1.. *)
+  ts_wait_s : float; (* job publication -> task claimed *)
+  ts_run_s : float;
+  ts_items : int;
+}
+
+type job_sample = {
+  js_pool_size : int;
+  js_tasks : int;
+  js_chunk : int;
+  js_items : int;
+  js_span_s : float;  (* publication -> join, on the submitting domain *)
+  js_inline : bool;   (* ran serially on the caller (size 1 / tiny input) *)
+  js_samples : task_sample array;
+}
+
+type profiler = {
+  pr_clock : unit -> float;
+  pr_on_job : job_sample -> unit;        (* called on the submitting domain *)
+  pr_on_nested_inline : int -> unit;     (* items of a nested inline map *)
+}
+
+let profiler : profiler option Atomic.t = Atomic.make None
+let set_profiler p = Atomic.set profiler p
+let profiling () = Option.is_some (Atomic.get profiler)
+
+(* Stable per-domain index for task samples: workers set theirs at spawn,
+   every other domain (the submitter) reads the default 0. *)
+let domain_index = Domain.DLS.new_key (fun () -> 0)
+
+let null_sample = { ts_domain = 0; ts_wait_s = 0.; ts_run_s = 0.; ts_items = 0 }
+
 type t = {
   psize : int;
   lock : Mutex.t;
@@ -86,7 +129,10 @@ let create psize =
   in
   if psize > 1 then
     t.workers <-
-      List.init (psize - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+      List.init (psize - 1) (fun i ->
+          Domain.spawn (fun () ->
+              Domain.DLS.set domain_index (i + 1);
+              worker_loop t));
   t
 
 let size t = t.psize
@@ -124,13 +170,41 @@ type 'b slot =
   | Done of 'b array * Work.task_work
   | Raised of exn * Printexc.raw_backtrace
 
+(* The serial execution, verbatim — no captures, no domains, no locks.
+   Under a profiler, a top-level inline map is still timed (that is the
+   whole job at pool size 1); nested inline maps from inside a task only
+   bump atomic counters on the profiler side, since they run concurrently
+   with the submitting domain's bookkeeping. *)
+let inline_map t f arr n =
+  match Atomic.get profiler with
+  | None -> Array.map f arr
+  | Some p ->
+    if Domain.DLS.get in_task then begin
+      p.pr_on_nested_inline n;
+      Array.map f arr
+    end
+    else begin
+      let t0 = p.pr_clock () in
+      let out = Array.map f arr in
+      let dt = p.pr_clock () -. t0 in
+      p.pr_on_job
+        { js_pool_size = t.psize;
+          js_tasks = 1;
+          js_chunk = n;
+          js_items = n;
+          js_span_s = dt;
+          js_inline = true;
+          js_samples =
+            [| { ts_domain = Domain.DLS.get domain_index; ts_wait_s = 0.;
+                 ts_run_s = dt; ts_items = n } |] };
+      out
+    end
+
 let parallel_map ?chunk t f arr =
   let n = Array.length arr in
   if n = 0 then [||]
   else if t.psize = 1 || t.stopped || n < 2 || Domain.DLS.get in_task then
-    (* Inline path: the serial execution, verbatim — no captures, no
-       domains, no locks. *)
-    Array.map f arr
+    inline_map t f arr n
   else begin
     let chunk =
       match chunk with
@@ -139,7 +213,7 @@ let parallel_map ?chunk t f arr =
       | None -> max 1 (n / (t.psize * 4))
     in
     let ntasks = (n + chunk - 1) / chunk in
-    if ntasks < 2 then Array.map f arr
+    if ntasks < 2 then inline_map t f arr n
     else begin
       let slots = Array.make ntasks Pending in
       let run_task k =
@@ -151,7 +225,40 @@ let parallel_map ?chunk t f arr =
         | vals, tw -> slots.(k) <- Done (vals, tw)
         | exception e -> slots.(k) <- Raised (e, Printexc.get_raw_backtrace ())
       in
+      let prof = Atomic.get profiler in
+      let t0 = match prof with Some p -> p.pr_clock () | None -> 0. in
+      let samples =
+        match prof with
+        | Some _ -> Array.make ntasks null_sample
+        | None -> [||]
+      in
+      let run_task =
+        match prof with
+        | None -> run_task
+        | Some p ->
+          fun k ->
+            let ts = p.pr_clock () in
+            run_task k;
+            let te = p.pr_clock () in
+            let lo = k * chunk in
+            samples.(k) <-
+              { ts_domain = Domain.DLS.get domain_index;
+                ts_wait_s = ts -. t0;
+                ts_run_s = te -. ts;
+                ts_items = min n (lo + chunk) - lo }
+      in
       run_job t run_task ntasks;
+      (match prof with
+       | Some p ->
+         p.pr_on_job
+           { js_pool_size = t.psize;
+             js_tasks = ntasks;
+             js_chunk = chunk;
+             js_items = n;
+             js_span_s = p.pr_clock () -. t0;
+             js_inline = false;
+             js_samples = samples }
+       | None -> ());
       (* Join in submission order: absorb each task's work up to the first
          raise, so counters match a serial run cut at that point. *)
       let first_exn = ref None in
@@ -230,11 +337,118 @@ let set_global_size n =
 (* --- locks for domain-safe shared structures --- *)
 
 module Lock = struct
-  type lock = Mutex.t
+  type stats = {
+    ls_name : string;
+    mutable ls_acquires : int;
+    mutable ls_contended : int;
+    mutable ls_wait_s : float;
+    mutable ls_max_wait_s : float;
+    mutable ls_hold_s : float;
+  }
 
-  let create () = Mutex.create ()
+  type lock = { lm : Mutex.t; lstats : stats option }
+
+  (* Registry of every named lock ever created; entries are a few words
+     each and aggregate by name at snapshot time, so per-shard locks
+     (node stores create up to 16 apiece) stay cheap.  The meta-mutex is
+     sanctioned by this file's D004 allow. *)
+  let registry : stats list ref = ref []
+  let registry_m = Mutex.create ()
+
+  let create ?name () =
+    match name with
+    | None -> { lm = Mutex.create (); lstats = None }
+    | Some ls_name ->
+      let s =
+        { ls_name; ls_acquires = 0; ls_contended = 0; ls_wait_s = 0.;
+          ls_max_wait_s = 0.; ls_hold_s = 0. }
+      in
+      Mutex.lock registry_m;
+      registry := s :: !registry;
+      Mutex.unlock registry_m;
+      { lm = Mutex.create (); lstats = Some s }
 
   let with_lock l f =
-    Mutex.lock l;
-    Fun.protect ~finally:(fun () -> Mutex.unlock l) f
+    match (Atomic.get profiler, l.lstats) with
+    | Some p, Some s ->
+      (* Contention is detected by try_lock: a failed fast path means
+         another domain held the lock, and the blocking acquire is timed.
+         All stats fields are mutated while holding the lock itself, so
+         they need no further synchronization. *)
+      let contended = not (Mutex.try_lock l.lm) in
+      let wait =
+        if contended then begin
+          let t0 = p.pr_clock () in
+          Mutex.lock l.lm;
+          p.pr_clock () -. t0
+        end
+        else 0.
+      in
+      s.ls_acquires <- s.ls_acquires + 1;
+      if contended then begin
+        s.ls_contended <- s.ls_contended + 1;
+        s.ls_wait_s <- s.ls_wait_s +. wait;
+        if wait > s.ls_max_wait_s then s.ls_max_wait_s <- wait
+      end;
+      let held = p.pr_clock () in
+      Fun.protect
+        ~finally:(fun () ->
+          s.ls_hold_s <- s.ls_hold_s +. (p.pr_clock () -. held);
+          Mutex.unlock l.lm)
+        f
+    | _ ->
+      Mutex.lock l.lm;
+      Fun.protect ~finally:(fun () -> Mutex.unlock l.lm) f
+
+  type snapshot = {
+    sn_name : string;
+    sn_locks : int;
+    sn_acquires : int;
+    sn_contended : int;
+    sn_wait_s : float;
+    sn_max_wait_s : float;
+    sn_hold_s : float;
+  }
+
+  let snapshot () =
+    Mutex.lock registry_m;
+    let all = !registry in
+    Mutex.unlock registry_m;
+    let tbl = Hashtbl.create 8 in
+    (* Only instances acquired since the last [reset_stats] count: the
+       registry is append-only, so dead instances (a torn-down cluster's
+       shard locks) would otherwise skew [sn_locks] across runs. *)
+    let all = List.filter (fun s -> s.ls_acquires > 0) all in
+    List.iter
+      (fun s ->
+        let cur =
+          match Hashtbl.find_opt tbl s.ls_name with
+          | Some c -> c
+          | None ->
+            { sn_name = s.ls_name; sn_locks = 0; sn_acquires = 0;
+              sn_contended = 0; sn_wait_s = 0.; sn_max_wait_s = 0.;
+              sn_hold_s = 0. }
+        in
+        Hashtbl.replace tbl s.ls_name
+          { cur with
+            sn_locks = cur.sn_locks + 1;
+            sn_acquires = cur.sn_acquires + s.ls_acquires;
+            sn_contended = cur.sn_contended + s.ls_contended;
+            sn_wait_s = cur.sn_wait_s +. s.ls_wait_s;
+            sn_max_wait_s = Float.max cur.sn_max_wait_s s.ls_max_wait_s;
+            sn_hold_s = cur.sn_hold_s +. s.ls_hold_s })
+      all;
+    Det.sorted_bindings ~cmp:String.compare tbl |> List.map snd
+
+  let reset_stats () =
+    Mutex.lock registry_m;
+    List.iter
+      (fun s ->
+        s.ls_acquires <- 0;
+        s.ls_contended <- 0;
+        s.ls_wait_s <- 0.;
+        s.ls_max_wait_s <- 0.;
+        s.ls_hold_s <- 0.)
+      !registry;
+    Mutex.unlock registry_m
 end

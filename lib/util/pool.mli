@@ -69,6 +69,47 @@ val set_global_size : int -> unit
 (** Replace the global pool (shutting down the previous one, if created).
     Must not be called while pool tasks are in flight. *)
 
+(** {2 Profiling hooks}
+
+    Mechanism only — policy lives in [Obs.Prof], which installs the hook
+    record.  With a profiler installed, every job (parallel or top-level
+    inline) is timed with the profiler's clock and reported to [pr_on_job]
+    at the join, on the submitting domain, as one {!job_sample}: per-task
+    claim wait (job publication to claim), run time, executing domain and
+    item count.  Nested inline maps (from inside a task) report only an
+    item count through [pr_on_nested_inline], which therefore must be
+    domain-safe.  With no profiler installed the hot paths pay one atomic
+    load; either way the pool's outputs are byte-identical. *)
+
+type task_sample = {
+  ts_domain : int;   (** 0 = submitting domain; workers are 1..size-1 *)
+  ts_wait_s : float; (** job publication -> task claimed *)
+  ts_run_s : float;
+  ts_items : int;
+}
+
+type job_sample = {
+  js_pool_size : int;
+  js_tasks : int;
+  js_chunk : int;
+  js_items : int;
+  js_span_s : float;  (** publication -> join *)
+  js_inline : bool;   (** ran serially on the caller *)
+  js_samples : task_sample array;
+}
+
+type profiler = {
+  pr_clock : unit -> float;
+  pr_on_job : job_sample -> unit;
+  pr_on_nested_inline : int -> unit;
+}
+
+val set_profiler : profiler option -> unit
+(** Install (or remove) the process-global profiler.  Not synchronized
+    with in-flight jobs: install while the pool is quiescent. *)
+
+val profiling : unit -> bool
+
 (** {2 Locks}
 
     The one sanctioned mutex constructor outside this module's internals:
@@ -78,8 +119,34 @@ val set_global_size : int -> unit
 module Lock : sig
   type lock
 
-  val create : unit -> lock
+  val create : ?name:string -> unit -> lock
+  (** A named lock additionally registers itself for contention
+      accounting: while a profiler is installed, [with_lock] counts
+      acquires, contended acquires (detected by a failed [try_lock] fast
+      path), acquire-wait and hold time against the name.  Locks sharing a
+      name (e.g. one per store shard) aggregate in {!snapshot}. *)
 
   val with_lock : lock -> (unit -> 'a) -> 'a
   (** Run [f] holding the lock; released on exception. *)
+
+  (** Per-name aggregate of every named lock's counters. *)
+  type snapshot = {
+    sn_name : string;
+    sn_locks : int;      (** locks sharing this name *)
+    sn_acquires : int;
+    sn_contended : int;
+    sn_wait_s : float;
+    sn_max_wait_s : float;
+    sn_hold_s : float;
+  }
+
+  val snapshot : unit -> snapshot list
+  (** Sorted by name; deterministic for a deterministic execution.  Only
+      instances acquired since the last {!reset_stats} are aggregated, so
+      locks of torn-down structures from earlier runs don't skew
+      [sn_locks]. *)
+
+  val reset_stats : unit -> unit
+  (** Zero every registered lock's counters (the locks themselves are
+      untouched). *)
 end

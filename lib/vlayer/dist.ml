@@ -48,7 +48,7 @@ module Make (N : NODE) = struct
       Sim.sleep (Float.max 0. (t.timeout -. elapsed));
       Stdlib.Error err
     in
-    if not (Net.try_send t.net ~link:shard ~bytes_len:req_bytes) then
+    if not (Net.try_send t.net ~link:shard ~bytes_len:req_bytes ()) then
       failed (Error.Timeout "request")
     else if not (N.alive nd) then failed (Error.Node_down shard)
     else begin
@@ -72,7 +72,7 @@ module Make (N : NODE) = struct
          N.note_phase nd name ((Sim.now () -. arrived) /. float_of_int keys)
        | _ -> ());
       if not (N.alive nd) then failed (Error.Node_down shard)
-      else if not (Net.try_send t.net ~link:shard ~bytes_len:(resp_bytes v))
+      else if not (Net.try_send t.net ~link:shard ~bytes_len:(resp_bytes v) ())
       then failed (Error.Timeout "response")
       else Ok v
     end

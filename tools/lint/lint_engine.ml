@@ -513,6 +513,7 @@ let scan ~root ~grants =
   in
   let parsed =
     lint_tree Lib "lib" @ lint_tree Bench "bench" @ lint_tree Bench "bin"
+    @ lint_tree Bench "tools"
   in
   let h001 =
     h001_check ~disk_dir:(under "lib") ~shown_dir:"lib"
