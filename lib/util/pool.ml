@@ -368,7 +368,117 @@ module Lock = struct
       Mutex.unlock registry_m;
       { lm = Mutex.create (); lstats = Some s }
 
-  let with_lock l f =
+  (* --- runtime lock-order validation (GLASSDB_LOCKCHECK=1) ---
+
+     The dynamic complement of racecheck's static R002: when enabled,
+     every named-lock acquisition consults the acquiring domain's held
+     set (a DLS stack), records the observed acquires-while-holding edge,
+     and logs a violation when the pair is not sanctioned by the declared
+     order (same-name nesting — e.g. two store shards — is never
+     sanctioned: equal ranks can deadlock pairwise).  Unnamed locks are
+     not tracked; like the profiler, the off path costs one atomic load
+     and allocates nothing extra. *)
+
+  let lockcheck_on =
+    Atomic.make
+      (match Sys.getenv_opt "GLASSDB_LOCKCHECK" with
+       | Some "1" -> true
+       | _ -> false)
+
+  let set_lockcheck b = Atomic.set lockcheck_on b
+  let lockcheck_enabled () = Atomic.get lockcheck_on
+
+  (* Per-domain stack of held named locks, innermost first. *)
+  let held_key : string list ref Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> ref [])
+
+  (* Checker globals, guarded by [lc_m] (sanctioned by this file's D004
+     allow): the declared order, the observed acquisition edges, and the
+     violation log. *)
+  let lc_m = Mutex.create ()
+  let lc_order : string list ref = ref []
+  let lc_edge_seen : (string, unit) Hashtbl.t = Hashtbl.create 16
+  let lc_edges : (string * string) list ref = ref []
+  let lc_violations : string list ref = ref []
+
+  let set_lock_order names =
+    Mutex.lock lc_m;
+    lc_order := names;
+    Mutex.unlock lc_m
+
+  let reset_lockcheck () =
+    Mutex.lock lc_m;
+    Hashtbl.reset lc_edge_seen;
+    lc_edges := [];
+    lc_violations := [];
+    Mutex.unlock lc_m
+
+  let compare_edge (a1, b1) (a2, b2) =
+    match String.compare a1 a2 with
+    | 0 -> String.compare b1 b2
+    | c -> c
+
+  let lockcheck_edges () =
+    Mutex.lock lc_m;
+    let es = !lc_edges in
+    Mutex.unlock lc_m;
+    List.sort compare_edge es
+
+  let lockcheck_violations () =
+    Mutex.lock lc_m;
+    let vs = List.rev !lc_violations in
+    Mutex.unlock lc_m;
+    vs
+
+  let rank order n =
+    let rec go i = function
+      | [] -> None
+      | x :: rest -> if String.equal x n then Some i else go (i + 1) rest
+    in
+    go 0 order
+
+  (* Check + record BEFORE blocking on the mutex, so an order violation
+     is logged even if the acquisition then deadlocks. *)
+  let lockcheck_enter name =
+    let held = Domain.DLS.get held_key in
+    (match !held with
+     | [] -> ()
+     | hs ->
+       Mutex.lock lc_m;
+       let order = !lc_order in
+       List.iter
+         (fun h ->
+           let key = h ^ "\x00" ^ name in
+           if not (Hashtbl.mem lc_edge_seen key) then begin
+             Hashtbl.replace lc_edge_seen key ();
+             lc_edges := (h, name) :: !lc_edges
+           end;
+           let sanctioned =
+             (not (String.equal h name))
+             && (match (rank order h, rank order name) with
+                 | Some rh, Some rn -> rh < rn
+                 | _ -> false)
+           in
+           if not sanctioned then
+             lc_violations :=
+               Printf.sprintf
+                 "lock %S acquired while holding %S (pair not sanctioned \
+                  by the declared order)"
+                 name h
+               :: !lc_violations)
+         hs;
+       Mutex.unlock lc_m);
+    held := name :: !held
+
+  let lockcheck_exit name =
+    let held = Domain.DLS.get held_key in
+    let rec remove = function
+      | [] -> []
+      | x :: rest -> if String.equal x name then rest else x :: remove rest
+    in
+    held := remove !held
+
+  let with_lock_uninstrumented l f =
     match (Atomic.get profiler, l.lstats) with
     | Some p, Some s ->
       (* Contention is detected by try_lock: a failed fast path means
@@ -399,6 +509,18 @@ module Lock = struct
     | _ ->
       Mutex.lock l.lm;
       Fun.protect ~finally:(fun () -> Mutex.unlock l.lm) f
+
+  let with_lock l f =
+    if Atomic.get lockcheck_on then begin
+      match l.lstats with
+      | Some s ->
+        lockcheck_enter s.ls_name;
+        Fun.protect
+          ~finally:(fun () -> lockcheck_exit s.ls_name)
+          (fun () -> with_lock_uninstrumented l f)
+      | None -> with_lock_uninstrumented l f
+    end
+    else with_lock_uninstrumented l f
 
   type snapshot = {
     sn_name : string;

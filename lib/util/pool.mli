@@ -149,4 +149,36 @@ module Lock : sig
   val reset_stats : unit -> unit
   (** Zero every registered lock's counters (the locks themselves are
       untouched). *)
+
+  (** {2 Runtime lock-order validation}
+
+      The dynamic complement of racecheck's static R002 (DESIGN.md §4i).
+      When enabled — [GLASSDB_LOCKCHECK=1] in the environment, or
+      {!set_lockcheck} — every named-lock {!with_lock} records the
+      acquires-while-holding edges it observes against the acquiring
+      domain's held-lock set, and logs a violation when a pair is not
+      sanctioned by the declared order ({!set_lock_order}).  Same-name
+      nesting (two store shards, say) is never sanctioned: equal ranks
+      deadlock pairwise.  Unnamed locks are not tracked.  When disabled
+      the cost is one atomic load per acquisition and no extra
+      allocation, the same pattern as the profiler hook. *)
+
+  val set_lockcheck : bool -> unit
+  val lockcheck_enabled : unit -> bool
+
+  val set_lock_order : string list -> unit
+  (** Declare the sanctioned acquisition order (outermost first), e.g.
+      the [(order ...)] chain from tools/lint/lockorder.sexp.  A lock may
+      be acquired while holding only locks of strictly lower rank.
+      Install while quiescent. *)
+
+  val lockcheck_edges : unit -> (string * string) list
+  (** Distinct observed (held, acquired) pairs, sorted — diffable
+      against the declared order by tests. *)
+
+  val lockcheck_violations : unit -> string list
+  (** Violations in observation order. *)
+
+  val reset_lockcheck : unit -> unit
+  (** Clear observed edges and violations (the declared order is kept). *)
 end

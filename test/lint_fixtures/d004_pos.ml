@@ -1,3 +1,6 @@
-(* Fixture: D004 positive — ambient domain spawn and raw mutex. *)
+(* Fixture: D004 positive — ambient domain spawn/join, raw threads and
+   a raw mutex. *)
 let lock = Mutex.create ()
 let fire f = Domain.spawn f
+let collect d = Domain.join d
+let thread f = Thread.create f ()

@@ -1,0 +1,3 @@
+; Whole-file grants for the racecheck fixture suite.
+((file "r001_grant_sup.ml") (rule "R001")
+ (reason "fixture: exercises the grant-file suppression path"))

@@ -1,0 +1,2 @@
+; Fixture lock order: fixture.a may be held when acquiring fixture.b.
+(order (fixture.a fixture.b))

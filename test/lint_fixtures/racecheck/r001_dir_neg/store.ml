@@ -1,0 +1,9 @@
+(* Multi-module fixture: Store.put guards the table; the internal
+   [insert] helper is only ever called under the lock, which the
+   must-hold fixpoint credits (store.mli keeps it unexported). *)
+let table : (string, int) Hashtbl.t = Hashtbl.create 16
+let lock = Glassdb_util.Pool.Lock.create ~name:"fixture.store" ()
+let insert k v = Hashtbl.replace table k v
+
+let put k v =
+  Glassdb_util.Pool.Lock.with_lock lock (fun () -> insert k v)

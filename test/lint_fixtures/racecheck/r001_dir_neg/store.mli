@@ -1,0 +1,1 @@
+val put : string -> int -> unit

@@ -1,0 +1,2 @@
+let go pool keys =
+  Glassdb_util.Pool.run pool (List.map (fun k () -> Store.put k 0) keys)

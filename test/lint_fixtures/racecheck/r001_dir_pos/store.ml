@@ -1,0 +1,4 @@
+(* Multi-module fixture: the table is mutated by Driver's pooled tasks
+   through Store.put, with no lock anywhere. *)
+let table : (string, int) Hashtbl.t = Hashtbl.create 16
+let put k v = Hashtbl.replace table k v

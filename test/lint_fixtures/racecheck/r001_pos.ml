@@ -1,0 +1,7 @@
+(* Fixture: R001 positive — module-level table mutated from a pooled
+   task with no lock. *)
+let table : (string, int) Hashtbl.t = Hashtbl.create 16
+
+let record pool keys =
+  Glassdb_util.Pool.run pool
+    (List.map (fun k () -> Hashtbl.replace table k 1) keys)

@@ -1,0 +1,8 @@
+(* Fixture: R001 suppressed by a floating allow. *)
+[@@@glassdb.lint.allow "R001"]
+
+let table : (string, int) Hashtbl.t = Hashtbl.create 16
+
+let record pool keys =
+  Glassdb_util.Pool.run pool
+    (List.map (fun k () -> Hashtbl.replace table k 1) keys)

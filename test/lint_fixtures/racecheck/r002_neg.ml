@@ -1,0 +1,7 @@
+(* Fixture: R002 negative — nesting follows the declared order. *)
+let la = Glassdb_util.Pool.Lock.create ~name:"fixture.a" ()
+let lb = Glassdb_util.Pool.Lock.create ~name:"fixture.b" ()
+
+let right () =
+  Glassdb_util.Pool.Lock.with_lock la (fun () ->
+      Glassdb_util.Pool.Lock.with_lock lb (fun () -> ()))

@@ -1,0 +1,8 @@
+(* Fixture: R002 suppressed by an expression attribute on the nesting. *)
+let la = Glassdb_util.Pool.Lock.create ~name:"fixture.a" ()
+let lb = Glassdb_util.Pool.Lock.create ~name:"fixture.b" ()
+
+let wrong () =
+  (Glassdb_util.Pool.Lock.with_lock lb (fun () ->
+       Glassdb_util.Pool.Lock.with_lock la (fun () -> ()))
+   [@glassdb.lint.allow "R002"])

@@ -1,0 +1,6 @@
+(* Fixture: R003 negative — tasks stay compute-only; IO happens on the
+   submitting domain after the join. *)
+let ok pool xs =
+  let r = Glassdb_util.Pool.parallel_map pool (fun x -> x + 1) xs in
+  print_endline "done";
+  r

@@ -1,0 +1,7 @@
+(* Fixture: R003 suppressed by an expression attribute on the IO call. *)
+let slow pool xs =
+  Glassdb_util.Pool.parallel_map pool
+    (fun x ->
+      (print_endline "tick" [@glassdb.lint.allow "R003"]);
+      x + 1)
+    xs

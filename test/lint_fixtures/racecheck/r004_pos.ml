@@ -1,0 +1,4 @@
+(* Fixture: R004 positive — an ambient DLS key and a Work merge outside
+   the pool's capture/absorb protocol. *)
+let key = Domain.DLS.new_key (fun () -> 0)
+let steal () = Glassdb_util.Work.capture ()

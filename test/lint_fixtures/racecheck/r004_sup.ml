@@ -1,0 +1,2 @@
+(* Fixture: R004 suppressed by an expression attribute. *)
+let key = (Domain.DLS.new_key (fun () -> 0) [@glassdb.lint.allow "R004"])

@@ -46,7 +46,7 @@ let test_rule_ids () =
   Alcotest.(check (list string)) "d001" [ "D001" ] (rules_of (fixture "d001_pos.ml"));
   Alcotest.(check (list string)) "d002" [ "D002" ] (rules_of (fixture "d002_pos.ml"));
   Alcotest.(check (list string)) "d003" [ "D003" ] (rules_of (fixture "d003_pos.ml"));
-  Alcotest.(check (list string)) "d004" [ "D004"; "D004" ]
+  Alcotest.(check (list string)) "d004" [ "D004"; "D004"; "D004"; "D004" ]
     (rules_of (fixture "d004_pos.ml"));
   Alcotest.(check (list string)) "s001" [ "S001"; "S001" ]
     (rules_of (fixture "s001_pos.ml"));

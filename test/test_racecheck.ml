@@ -1,0 +1,281 @@
+(* glassdb-racecheck test suite: every rule's positive / negative /
+   suppressed fixture (including multi-module directory fixtures), the
+   lockorder.sexp parser, JSON round-trip and byte stability of the
+   canonical report, and the runtime lock-order validator in Pool.Lock —
+   unit nesting, a seeded multi-domain stress run with deliberately
+   inverted acquisitions, and the off-path cost contract. *)
+
+open Glassdb_util
+
+let fixture_dir = Filename.concat "lint_fixtures" "racecheck"
+
+(* --- fixtures --- *)
+
+let test_fixtures () =
+  let results = Racecheck_engine.run_fixtures ~dir:fixture_dir in
+  Alcotest.(check bool) "found fixtures" true (List.length results >= 15);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s (%s)" r.Lint_engine.x_name r.Lint_engine.x_detail)
+        true r.Lint_engine.x_ok)
+    results
+
+let test_every_rule_fixtured () =
+  let entries = Sys.readdir fixture_dir in
+  List.iter
+    (fun rule ->
+      let prefix = String.lowercase_ascii rule ^ "_" in
+      List.iter
+        (fun case ->
+          let present =
+            Array.exists
+              (fun f ->
+                String.length f >= String.length prefix
+                && String.equal (String.sub f 0 (String.length prefix)) prefix
+                && (let stem = Filename.remove_extension f in
+                    String.length stem > String.length case
+                    && String.equal
+                         (String.sub stem
+                            (String.length stem - String.length case)
+                            (String.length case))
+                         case))
+              entries
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s has a %s fixture" rule case)
+            true present)
+        [ "pos"; "neg"; "sup" ])
+    Racecheck_engine.rule_ids
+
+let analyze_fixture names =
+  let lockorder =
+    Racecheck_engine.load_lockorder (Filename.concat fixture_dir "lockorder.sexp")
+  in
+  Racecheck_engine.analyze ~lockorder
+    (List.map
+       (fun n ->
+         Racecheck_engine.source_of_disk
+           ~disk:(Filename.concat fixture_dir n)
+           ~shown:n)
+       names)
+
+let rules_of names =
+  List.map
+    (fun f -> f.Lint_engine.f_rule)
+    (analyze_fixture names).Racecheck_engine.a_report.Lint_engine.r_findings
+
+let test_rule_ids () =
+  Alcotest.(check (list string)) "r001" [ "R001" ] (rules_of [ "r001_pos.ml" ]);
+  Alcotest.(check (list string)) "r002" [ "R002" ] (rules_of [ "r002_pos.ml" ]);
+  Alcotest.(check (list string)) "r003" [ "R003"; "R003" ]
+    (rules_of [ "r003_pos.ml" ]);
+  Alcotest.(check (list string)) "r004" [ "R004"; "R004" ]
+    (rules_of [ "r004_pos.ml" ])
+
+let test_parse_error () =
+  let a =
+    Racecheck_engine.analyze ~lockorder:Racecheck_engine.empty_lockorder
+      [ { Racecheck_engine.s_shown = "broken.ml"; s_src = "let x = (";
+          s_mli = None } ]
+  in
+  Alcotest.(check (list string)) "parse failure is a finding" [ "E000" ]
+    (List.map
+       (fun f -> f.Lint_engine.f_rule)
+       a.Racecheck_engine.a_report.Lint_engine.r_findings)
+
+(* --- lockorder.sexp --- *)
+
+let test_lockorder_closure () =
+  let lo =
+    Racecheck_engine.lockorder_of_source "(order (a b c))\n(order (c d))\n"
+  in
+  let allows held acquired =
+    Racecheck_engine.order_allows lo ~held ~acquired
+  in
+  Alcotest.(check bool) "adjacent pair" true (allows "a" "b");
+  Alcotest.(check bool) "transitive in one chain" true (allows "a" "c");
+  Alcotest.(check bool) "transitive across chains" true (allows "a" "d");
+  Alcotest.(check bool) "reverse rejected" false (allows "b" "a");
+  Alcotest.(check bool) "self rejected" false (allows "a" "a")
+
+let test_lockorder_cycle () =
+  Alcotest.check_raises "declared cycle is a configuration error"
+    (Failure "lockorder.sexp: declared order has a cycle through \"a\"")
+    (fun () ->
+      ignore (Racecheck_engine.lockorder_of_source "(order (a b))\n(order (b a))\n"))
+
+(* --- JSON: canonical report round-trip and byte stability --- *)
+
+let test_json_roundtrip () =
+  let report =
+    (analyze_fixture [ "r001_pos.ml"; "r003_pos.ml" ])
+      .Racecheck_engine.a_report
+  in
+  Alcotest.(check bool) "report is non-empty" true
+    (report.Lint_engine.r_findings <> []);
+  let j1 = Lint_json.report_to_json report in
+  let j2 = Lint_json.report_to_json (Lint_json.report_of_json j1) in
+  Alcotest.(check string) "to_json . of_json . to_json = to_json" j1 j2
+
+let test_json_stable () =
+  let run () =
+    Lint_json.report_to_json
+      (analyze_fixture [ "r001_pos.ml"; "r002_pos.ml"; "r004_pos.ml" ])
+        .Racecheck_engine.a_report
+  in
+  Alcotest.(check string) "byte-identical across runs" (run ()) (run ())
+
+(* --- runtime lock-order validator --- *)
+
+let with_lockcheck order f =
+  Pool.Lock.set_lock_order order;
+  Pool.Lock.set_lockcheck true;
+  Pool.Lock.reset_lockcheck ();
+  Fun.protect
+    ~finally:(fun () ->
+      Pool.Lock.set_lockcheck false;
+      Pool.Lock.reset_lockcheck ();
+      Pool.Lock.set_lock_order [])
+    f
+
+let test_validator_sanctioned () =
+  let la = Pool.Lock.create ~name:"fixture.a" () in
+  let lb = Pool.Lock.create ~name:"fixture.b" () in
+  with_lockcheck [ "fixture.a"; "fixture.b" ] (fun () ->
+      Pool.Lock.with_lock la (fun () ->
+          Pool.Lock.with_lock lb (fun () -> ()));
+      Alcotest.(check (list string)) "no violations" []
+        (Pool.Lock.lockcheck_violations ());
+      Alcotest.(check (list (pair string string)))
+        "observed edge recorded"
+        [ ("fixture.a", "fixture.b") ]
+        (Pool.Lock.lockcheck_edges ()))
+
+let test_validator_inverted () =
+  let la = Pool.Lock.create ~name:"fixture.a" () in
+  let lb = Pool.Lock.create ~name:"fixture.b" () in
+  with_lockcheck [ "fixture.a"; "fixture.b" ] (fun () ->
+      Pool.Lock.with_lock lb (fun () ->
+          Pool.Lock.with_lock la (fun () -> ()));
+      Alcotest.(check int) "one violation" 1
+        (List.length (Pool.Lock.lockcheck_violations ()));
+      Alcotest.(check (list (pair string string)))
+        "inverted edge recorded"
+        [ ("fixture.b", "fixture.a") ]
+        (Pool.Lock.lockcheck_edges ()))
+
+let test_validator_same_name () =
+  (* Two distinct shard locks sharing a name: equal ranks deadlock
+     pairwise, so same-name nesting is never sanctioned. *)
+  let s1 = Pool.Lock.create ~name:"fixture.shard" () in
+  let s2 = Pool.Lock.create ~name:"fixture.shard" () in
+  with_lockcheck [ "fixture.shard" ] (fun () ->
+      Pool.Lock.with_lock s1 (fun () ->
+          Pool.Lock.with_lock s2 (fun () -> ()));
+      Alcotest.(check int) "same-name nesting flagged" 1
+        (List.length (Pool.Lock.lockcheck_violations ())))
+
+let test_validator_unranked () =
+  (* A lock absent from the declared order is never sanctioned under
+     another. *)
+  let la = Pool.Lock.create ~name:"fixture.a" () in
+  let lx = Pool.Lock.create ~name:"fixture.unranked" () in
+  with_lockcheck [ "fixture.a"; "fixture.b" ] (fun () ->
+      Pool.Lock.with_lock la (fun () ->
+          Pool.Lock.with_lock lx (fun () -> ()));
+      Alcotest.(check int) "unranked acquisition flagged" 1
+        (List.length (Pool.Lock.lockcheck_violations ())))
+
+let test_validator_stress () =
+  (* Seeded multi-domain stress: half the tasks nest against the declared
+     order, from several domains at once.  Each task gets its own lock
+     *instances* (violations are detected by name, through the per-domain
+     held set), so the inverted name-pair is observed on every domain
+     without manufacturing a real AB-BA deadlock in the test.  The
+     validator must log every inversion; edge recording is deduplicated
+     so the observed graph stays diffable. *)
+  let p = Pool.create 4 in
+  Fun.protect ~finally:(fun () -> Pool.shutdown p) (fun () ->
+      with_lockcheck [ "fixture.a"; "fixture.b" ] (fun () ->
+          let tasks =
+            List.init 64 (fun i () ->
+                let la = Pool.Lock.create ~name:"fixture.a" () in
+                let lb = Pool.Lock.create ~name:"fixture.b" () in
+                if i mod 2 = 0 then
+                  Pool.Lock.with_lock la (fun () ->
+                      Pool.Lock.with_lock lb (fun () -> i))
+                else
+                  Pool.Lock.with_lock lb (fun () ->
+                      Pool.Lock.with_lock la (fun () -> i)))
+          in
+          let results = Pool.run p tasks in
+          Alcotest.(check int) "all tasks ran" 64 (List.length results);
+          Alcotest.(check (list (pair string string)))
+            "both edges observed, deduped"
+            [ ("fixture.a", "fixture.b"); ("fixture.b", "fixture.a") ]
+            (Pool.Lock.lockcheck_edges ());
+          Alcotest.(check int) "every inverted nesting logged" 32
+            (List.length (Pool.Lock.lockcheck_violations ()));
+          List.iter
+            (fun v ->
+              Alcotest.(check bool) "violation names the pair" true
+                (let has s sub =
+                   let n = String.length sub in
+                   let rec go i =
+                     i + n <= String.length s
+                     && (String.equal (String.sub s i n) sub || go (i + 1))
+                   in
+                   go 0
+                 in
+                 has v "fixture.a" && has v "fixture.b"))
+            (Pool.Lock.lockcheck_violations ())))
+
+let test_validator_off_cost () =
+  (* Contract: disabled, the validator adds one atomic load and no
+     allocation to with_lock.  with_lock's own baseline is ~8 minor words
+     per acquisition (the Fun.protect unlock closure), so the budget sits
+     just above it: any off-path checker allocation (the DLS held-list
+     and edge records are on-path only when enabled) would push past
+     it. *)
+  Alcotest.(check bool) "checker is off" false (Pool.Lock.lockcheck_enabled ());
+  let l = Pool.Lock.create ~name:"fixture.off" () in
+  let body = fun () -> () in
+  let iters = 10_000 in
+  (* Warm up so any one-time allocation is off the measured path. *)
+  for _ = 1 to 100 do Pool.Lock.with_lock l body done;
+  let before = Gc.minor_words () in
+  for _ = 1 to iters do Pool.Lock.with_lock l body done;
+  let per_call = (Gc.minor_words () -. before) /. float_of_int iters in
+  Alcotest.(check bool)
+    (Printf.sprintf "off-path allocation per acquisition (%.2f words)" per_call)
+    true (per_call < 12.0);
+  Alcotest.(check (list (pair string string))) "off path records nothing" []
+    (Pool.Lock.lockcheck_edges ())
+
+let () =
+  Alcotest.run "racecheck"
+    [ ( "fixtures",
+        [ Alcotest.test_case "all fixtures" `Quick test_fixtures;
+          Alcotest.test_case "every rule fixtured" `Quick
+            test_every_rule_fixtured;
+          Alcotest.test_case "rule ids" `Quick test_rule_ids;
+          Alcotest.test_case "parse error" `Quick test_parse_error ] );
+      ( "lockorder",
+        [ Alcotest.test_case "transitive closure" `Quick test_lockorder_closure;
+          Alcotest.test_case "declared cycle rejected" `Quick
+            test_lockorder_cycle ] );
+      ( "json",
+        [ Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "stable across runs" `Quick test_json_stable ] );
+      ( "validator",
+        [ Alcotest.test_case "sanctioned nesting silent" `Quick
+            test_validator_sanctioned;
+          Alcotest.test_case "inverted nesting flagged" `Quick
+            test_validator_inverted;
+          Alcotest.test_case "same-name nesting flagged" `Quick
+            test_validator_same_name;
+          Alcotest.test_case "unranked lock flagged" `Quick
+            test_validator_unranked;
+          Alcotest.test_case "multi-domain stress" `Quick test_validator_stress;
+          Alcotest.test_case "off-path cost" `Quick test_validator_off_cost ] ) ]

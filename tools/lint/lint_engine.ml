@@ -35,10 +35,10 @@ let rules =
      "no unordered Hashtbl.iter/fold/to_seq; drain through \
       Glassdb_util.Det (sorted_bindings / unordered_fold) or annotate");
     ("D004",
-     "no ambient Domain.spawn / Mutex.create / Condition.create; all \
-      parallelism and locking routes through Glassdb_util.Pool \
-      (lib/util/pool), whose deterministic joins keep parallel runs \
-      byte-identical to serial ones");
+     "no ambient Domain.spawn / Domain.join / Thread.create / Mutex.create \
+      / Condition.create; all parallelism and locking routes through \
+      Glassdb_util.Pool (lib/util/pool), whose deterministic joins keep \
+      parallel runs byte-identical to serial ones");
     ("S001",
      "no polymorphic =/<>/compare in lib/; use String.equal, Int.compare, \
       Hash.equal or a type-specific comparator");
@@ -75,7 +75,8 @@ let unordered_idents =
 let partial_idents = [ "List.hd"; "List.tl"; "Option.get" ]
 
 let ambient_domain_idents =
-  [ "Domain.spawn"; "Mutex.create"; "Condition.create"; "Thread.create" ]
+  [ "Domain.spawn"; "Domain.join"; "Mutex.create"; "Condition.create";
+    "Thread.create" ]
 
 let is_ambient_random name =
   (* Any global Random.* entry point is ambient state; Random.State.* is

@@ -1,0 +1,19 @@
+; Declared lock acquisition order for glassdb-racecheck (rule R002) and
+; the runtime validator (GLASSDB_LOCKCHECK=1).
+;
+; Format: one or more chains
+;
+;   (order (lockA lockB lockC))
+;
+; meaning a lock may be acquired while holding locks that appear EARLIER
+; in some chain (constraints compose transitively across chains; a cycle
+; in the declared constraints is a configuration error).  Lock names are
+; the ~name passed to Pool.Lock.create; locks sharing a name (e.g. the
+; node-store shards) share a rank, so nesting two same-named locks is
+; never sanctioned.
+;
+; The library currently never nests named locks: the observed
+; acquires-while-holding graph is empty, and this file declares the
+; order future nestings must respect — coarse registry-style locks
+; before fine per-shard ones.
+(order (metrics.registry node_store.shard))

@@ -1,0 +1,128 @@
+(* Command-line driver for glassdb-racecheck.
+
+     racecheck --root . --allow tools/lint/allow.sexp \
+               --lockorder tools/lint/lockorder.sexp    # whole lib/ pass
+     racecheck --json ...                               # machine output
+     racecheck --summary ...                            # phase-1 dump
+     racecheck --selftest test/lint_fixtures/racecheck  # fixture check
+     racecheck file.ml ...                              # specific files
+
+   Exit codes: 0 clean, 1 findings (or failed fixtures), 2 usage or
+   unreadable input — the same contract as glassdb_lint. *)
+
+let usage () =
+  prerr_endline
+    "usage: racecheck [--json] [--summary] [--root DIR] [--allow FILE] \
+     [--lockorder FILE] [--selftest DIR] [--rules] [FILE...]";
+  exit 2
+
+let () =
+  let json = ref false in
+  let dump = ref false in
+  let root = ref "." in
+  let allow = ref None in
+  let lockorder_file = ref None in
+  let selftest = ref None in
+  let files = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--json" :: rest ->
+      json := true;
+      parse rest
+    | "--summary" :: rest ->
+      dump := true;
+      parse rest
+    | "--root" :: dir :: rest ->
+      root := dir;
+      parse rest
+    | "--allow" :: file :: rest ->
+      allow := Some file;
+      parse rest
+    | "--lockorder" :: file :: rest ->
+      lockorder_file := Some file;
+      parse rest
+    | "--selftest" :: dir :: rest ->
+      selftest := Some dir;
+      parse rest
+    | "--rules" :: _ ->
+      List.iter
+        (fun (id, doc) -> Printf.printf "%s  %s\n" id doc)
+        Racecheck_engine.rules;
+      exit 0
+    | arg :: _ when String.length arg > 1 && arg.[0] = '-' -> usage ()
+    | file :: rest ->
+      files := file :: !files;
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  match !selftest with
+  | Some dir ->
+    let results = Racecheck_engine.run_fixtures ~dir in
+    if results = [] then begin
+      Printf.eprintf "racecheck selftest: no fixtures found in %s\n" dir;
+      exit 2
+    end;
+    let failed = List.filter (fun r -> not r.Lint_engine.x_ok) results in
+    List.iter
+      (fun r ->
+        Printf.printf "%-24s %s%s\n" r.Lint_engine.x_name
+          (if r.Lint_engine.x_ok then "ok" else "FAIL: ")
+          (if r.Lint_engine.x_ok then "" else r.Lint_engine.x_detail))
+      results;
+    Printf.printf "racecheck selftest: %d fixture(s), %d failure(s)\n"
+      (List.length results) (List.length failed);
+    exit (if failed = [] then 0 else 1)
+  | None ->
+    let grants =
+      match !allow with
+      | Some file ->
+        (try Lint_engine.load_grants file
+         with Failure msg ->
+           prerr_endline msg;
+           exit 2)
+      | None -> []
+    in
+    let lockorder =
+      match !lockorder_file with
+      | Some file ->
+        (try Racecheck_engine.load_lockorder file
+         with Failure msg ->
+           prerr_endline msg;
+           exit 2)
+      | None -> Racecheck_engine.empty_lockorder
+    in
+    let analysis =
+      match !files with
+      | [] -> Racecheck_engine.scan ~root:!root ~lockorder ~grants
+      | files ->
+        let sources =
+          List.map
+            (fun f ->
+              if not (Sys.file_exists f) then begin
+                Printf.eprintf "racecheck: no such file %s\n" f;
+                exit 2
+              end;
+              Racecheck_engine.source_of_disk ~disk:f ~shown:f)
+            (List.rev files)
+        in
+        let a = Racecheck_engine.analyze ~lockorder sources in
+        { a with
+          Racecheck_engine.a_report =
+            Lint_engine.apply_grants grants a.Racecheck_engine.a_report }
+    in
+    let report = analysis.Racecheck_engine.a_report in
+    if !dump then print_string (Racecheck_engine.describe analysis);
+    if !json then print_endline (Lint_json.report_to_json report)
+    else begin
+      List.iter
+        (fun f ->
+          Printf.printf "%s:%d:%d [%s] %s\n" f.Lint_engine.f_file
+            f.Lint_engine.f_line f.Lint_engine.f_col f.Lint_engine.f_rule
+            f.Lint_engine.f_msg)
+        report.Lint_engine.r_findings;
+      let nf = List.length report.Lint_engine.r_findings in
+      let ns = List.length report.Lint_engine.r_suppressed in
+      if nf > 0 || ns > 0 then
+        Printf.printf "glassdb-racecheck: %d finding(s), %d suppressed\n" nf ns
+    end;
+    exit (if report.Lint_engine.r_findings = [] then 0 else 1)

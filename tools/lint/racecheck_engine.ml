@@ -1,0 +1,621 @@
+(* glassdb-racecheck phase 2b: the rules.
+
+   Consumes the per-module summaries (race_summary) and the whole-library
+   call graph (race_callgraph) and checks:
+
+   R001  a mutable root reachable from a pooled task is protected — every
+         access holds one common named Pool.Lock, or the root is Atomic /
+         Domain.DLS, or it is explicitly granted.  Record-field roots are
+         only scrutinized when they are *lock-associated* (their record
+         also carries a Pool.Lock field, or some access anywhere holds a
+         lock); fields never seen near a lock are the "task-local" tier
+         of the protection lattice — state owned by one task or by the
+         submitting domain, documented in DESIGN.md §4i.
+   R002  no lock acquired while holding another unless the ordered pair
+         is sanctioned by tools/lint/lockorder.sexp; recursive
+         acquisition and observed cycles are always flagged.
+   R003  no blocking/IO primitive (Unix.*, Mutex.lock, channel IO, Sim
+         effects) inside pooled task closures.
+   R004  per-domain Work/DLS state merges only through the documented
+         capture/absorb protocol in lib/util/{pool,work}.
+
+   lib/util/pool.ml is the sanctioned home of raw concurrency and is not
+   analyzed; lib/util/work.ml is the sanctioned home of the DLS counters
+   (R004 only).  Reports reuse lint_engine's finding/suppression
+   machinery, so `file:line [RULE]`, --json, [@glassdb.lint.allow] and
+   allow.sexp grants all behave exactly like glassdb-lint. *)
+
+open Lint_engine
+
+let rules =
+  [ ("R001",
+     "a mutable root reachable from a Pool task must be protected: every \
+      access under the same named Pool.Lock, or the root Atomic / \
+      Domain.DLS, or explicitly granted (protection lattice, DESIGN.md \
+      §4i)");
+    ("R002",
+     "no lock acquired while holding another unless the pair is declared \
+      in tools/lint/lockorder.sexp; recursive acquisition and acquisition \
+      cycles always flagged");
+    ("R003",
+     "no blocking or IO primitive (Unix.*, Mutex.lock, channel IO, Sim \
+      effects) inside pooled task closures — tasks are compute-only");
+    ("R004",
+     "Domain.DLS state merges only via the Work capture/absorb protocol: \
+      no ambient DLS keys and no cross-domain Work counter reads outside \
+      lib/util/{pool,work}") ]
+
+let rule_ids = List.map fst rules
+
+(* --- sanctioned modules --- *)
+
+let sanctioned_pool shown = String.equal (Filename.basename shown) "pool.ml"
+let sanctioned_work shown = String.equal (Filename.basename shown) "work.ml"
+
+(* --- blocking / protocol identifier classification --- *)
+
+let blocking_exact =
+  [ "Mutex.lock"; "Mutex.try_lock"; "Condition.wait"; "Condition.signal";
+    "Condition.broadcast"; "Thread.delay"; "Thread.join"; "Domain.join";
+    "open_in"; "open_in_bin"; "open_out"; "open_out_bin"; "input_line";
+    "input_char"; "input_byte"; "really_input"; "really_input_string";
+    "output_string"; "output_bytes"; "output_char"; "print_string";
+    "print_endline"; "print_newline"; "print_char"; "prerr_string";
+    "prerr_endline"; "prerr_newline"; "read_line"; "read_int";
+    "read_int_opt"; "Printf.printf"; "Printf.eprintf"; "Printf.fprintf";
+    "Format.printf"; "Format.eprintf"; "Format.fprintf" ]
+
+let is_blocking name =
+  String.starts_with ~prefix:"Unix." name
+  || List.mem name blocking_exact
+  || (String.starts_with ~prefix:"Stdlib." name
+      && List.mem
+           (String.sub name 7 (String.length name - 7))
+           blocking_exact)
+  ||
+  (* Simulator effects: the event loop is single-domain; a task touching
+     it would block or corrupt the schedule. *)
+  (match Race_summary.last_two name with
+   | Some ("Sim", ("sleep" | "spawn" | "run" | "now")) -> true
+   | Some ("Ivar", ("read" | "read_timeout")) -> true
+   | Some ("Resource", ("acquire" | "use" | "release")) -> true
+   | _ -> false)
+
+let is_dls_ident name =
+  match Race_summary.last_two name with
+  | Some ("DLS", ("new_key" | "get" | "set")) -> true
+  | _ -> false
+
+let is_work_merge name =
+  match Race_summary.last_two name with
+  | Some ("Work", ("capture" | "absorb")) -> true
+  | _ -> false
+
+let is_work_read name =
+  match Race_summary.last_two name with
+  | Some
+      ( "Work",
+        ( "snapshot" | "reset" | "measure" | "attribution"
+        | "set_attribution" | "reset_attribution" ) ) ->
+    true
+  | _ -> false
+
+(* --- lockorder.sexp --- *)
+
+(* Declared order: one or more [(order (lockA lockB ...))] chains, each
+   meaning "a lock may be acquired while holding any lock earlier in the
+   chain".  Chains compose transitively; a cycle in the declared
+   constraints is a configuration error. *)
+type lockorder = {
+  lo_allowed : (string, unit) Hashtbl.t;  (* "A\x00B": B allowed under A *)
+  lo_locks : string list;                 (* declaration order, deduped *)
+}
+
+let empty_lockorder = { lo_allowed = Hashtbl.create 1; lo_locks = [] }
+
+let lockorder_of_source src =
+  let chains =
+    List.map
+      (function
+        | List [ Atom "order"; List items ] ->
+          List.map
+            (function
+              | Atom a -> a
+              | List _ ->
+                failwith "lockorder.sexp: order entries must be lock names")
+            items
+        | _ -> failwith "lockorder.sexp: expected (order (lockA lockB ...))")
+      (parse_sexps src)
+  in
+  let locks =
+    List.fold_left
+      (fun acc l -> if List.mem l acc then acc else acc @ [ l ])
+      []
+      (List.concat chains)
+  in
+  let direct =
+    List.concat_map
+      (fun chain ->
+        let rec pairs = function
+          | a :: (b :: _ as rest) -> (a, b) :: pairs rest
+          | _ -> []
+        in
+        pairs chain)
+      chains
+  in
+  let succs a = List.filter_map (fun (x, y) ->
+      if String.equal x a then Some y else None) direct
+  in
+  let reachable_from a =
+    let seen = ref [] in
+    let rec go n =
+      List.iter
+        (fun m ->
+          if not (List.mem m !seen) then begin
+            seen := m :: !seen;
+            go m
+          end)
+        (succs n)
+    in
+    go a;
+    !seen
+  in
+  let allowed = Hashtbl.create 16 in
+  List.iter
+    (fun a ->
+      let r = reachable_from a in
+      if List.mem a r then
+        failwith
+          (Printf.sprintf "lockorder.sexp: declared order has a cycle through %S" a);
+      List.iter (fun b -> Hashtbl.replace allowed (a ^ "\x00" ^ b) ()) r)
+    locks;
+  { lo_allowed = allowed; lo_locks = locks }
+
+let load_lockorder path =
+  if not (Sys.file_exists path) then empty_lockorder
+  else begin
+    let ic = open_in_bin path in
+    let src = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    lockorder_of_source src
+  end
+
+let order_allows lo ~held ~acquired =
+  Hashtbl.mem lo.lo_allowed (held ^ "\x00" ^ acquired)
+
+(* --- the analysis --- *)
+
+type source = { s_shown : string; s_src : string; s_mli : string option }
+
+type analysis = {
+  a_report : report;
+  a_summaries : Race_summary.t list;
+  a_graph : Race_callgraph.t;
+  a_roots : Race_summary.root list;  (* merged, final classification *)
+}
+
+let read_file path =
+  let ic = open_in_bin path in
+  let src = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  src
+
+let named held = List.filter (fun l -> not (String.equal l "?")) held
+
+let inter_nonempty f = function
+  | [] -> []
+  | x :: rest -> List.fold_left (fun acc y -> Race_callgraph.inter acc (f y)) (f x) rest
+
+let analyze ~lockorder (sources : source list) =
+  let parse_failures = ref [] in
+  let parsed =
+    List.filter_map
+      (fun s ->
+        if sanctioned_pool s.s_shown then None
+        else
+          match Race_summary.parse_module ~shown:s.s_shown s.s_src with
+          | Some p -> Some (s, p)
+          | None ->
+            parse_failures :=
+              { f_file = s.s_shown; f_line = 1; f_col = 1; f_rule = "E000";
+                f_msg = "source does not parse" }
+              :: !parse_failures;
+            None)
+      sources
+  in
+  let env = Race_summary.empty_env () in
+  List.iter (fun (_, p) -> Race_summary.prescan env p) parsed;
+  let summaries =
+    List.map
+      (fun ((s : source), p) ->
+        let sum = Race_summary.summarize env p in
+        { sum with
+          Race_summary.m_exported =
+            Option.bind s.s_mli Race_summary.parse_interface })
+      parsed
+  in
+  let g = Race_callgraph.build summaries in
+  let all_events =
+    List.concat_map
+      (fun (sm : Race_summary.t) ->
+        List.map (fun e -> (sm, e)) sm.Race_summary.m_events)
+      summaries
+  in
+  let found = ref [] in
+  let seen = Hashtbl.create 64 in
+  let add (sm : Race_summary.t) (pos : Race_summary.pos) rule msg =
+    let key =
+      Printf.sprintf "%s:%d:%d:%s" sm.m_file pos.px_line pos.px_col rule
+    in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.replace seen key ();
+      found :=
+        ( { f_file = sm.m_file; f_line = pos.px_line; f_col = pos.px_col;
+            f_rule = rule; f_msg = msg },
+          pos.Race_summary.px_off )
+        :: !found
+    end
+  in
+  (* The merged root set: env.root_list holds first-seen records; the
+     tables hold the merged classification. *)
+  let roots =
+    List.map
+      (fun (r : Race_summary.root) ->
+        let tbl =
+          if String.length r.r_id > 0 && r.r_id.[0] = '.' then
+            env.Race_summary.field_roots
+          else env.Race_summary.let_roots
+        in
+        match Hashtbl.find_opt tbl r.r_id with Some r' -> r' | None -> r)
+      (List.fold_left
+         (fun acc (sm : Race_summary.t) -> acc @ sm.Race_summary.m_roots)
+         [] summaries)
+  in
+  (* R001 *)
+  let must_named e = named (Race_callgraph.must_held g e) in
+  List.iter
+    (fun (r : Race_summary.root) ->
+      if r.r_kind = Race_summary.Plain then begin
+        let accesses =
+          List.filter_map
+            (fun ((sm : Race_summary.t), (e : Race_summary.event)) ->
+              match e.e_kind with
+              | Race_summary.Access (id, _) when String.equal id r.r_id ->
+                Some (sm, e)
+              | _ -> None)
+            all_events
+        in
+        let pooled =
+          List.filter (fun (_, e) -> Race_callgraph.pooled_event g e) accesses
+        in
+        (* A root with no write anywhere is effectively immutable
+           (write-once at construction, e.g. a round-constant array or a
+           shard table) — concurrent reads are safe. *)
+        let written =
+          List.exists
+            (fun (_, (e : Race_summary.event)) ->
+              match e.e_kind with
+              | Race_summary.Access (_, Race_summary.Write) -> true
+              | _ -> false)
+            accesses
+        in
+        let is_field = String.length r.r_id > 0 && r.r_id.[0] = '.' in
+        let scrutiny =
+          (not is_field)
+          || r.r_lockful
+          || List.exists (fun (_, e) -> must_named e <> []) accesses
+        in
+        if pooled <> [] && written && scrutiny then begin
+          let every = inter_nonempty (fun (_, e) -> must_named e) accesses in
+          if every = [] then begin
+            match inter_nonempty (fun (_, e) -> must_named e) pooled with
+            | guard :: _ ->
+              (* Pooled accesses agree on a lock; flag the stragglers that
+                 race with them. *)
+              List.iter
+                (fun ((sm : Race_summary.t), (e : Race_summary.event)) ->
+                  if not (List.mem guard (must_named e)) then
+                    add sm e.e_pos "R001"
+                      (Printf.sprintf
+                         "root %s is touched by Pool tasks under lock %S, \
+                          but this access does not hold it"
+                         r.r_id guard))
+                accesses
+            | [] ->
+              List.iter
+                (fun ((sm : Race_summary.t), (e : Race_summary.event)) ->
+                  add sm e.e_pos "R001"
+                    (Printf.sprintf
+                       "mutable root %s is reachable from Pool tasks with \
+                        no common named Pool.Lock; protect every access \
+                        with one lock, make the root Atomic/Domain.DLS, or \
+                        grant with a reason"
+                       r.r_id))
+                pooled
+          end
+        end
+      end)
+    roots;
+  (* R002 *)
+  let acquires =
+    List.filter_map
+      (fun ((sm : Race_summary.t), (e : Race_summary.event)) ->
+        match e.e_kind with
+        | Race_summary.Acquire l when not (String.equal l "?") ->
+          Some (sm, e, l)
+        | _ -> None)
+      all_events
+  in
+  let observed_edges =
+    List.fold_left
+      (fun acc (_, (e : Race_summary.event), b) ->
+        List.fold_left
+          (fun acc a ->
+            if String.equal a b || List.mem (a, b) acc then acc
+            else (a, b) :: acc)
+          acc
+          (named (Race_callgraph.may_held g e)))
+      [] acquires
+  in
+  let edge_reaches src dst =
+    let seen = ref [] in
+    let rec go n =
+      String.equal n dst
+      || List.exists
+           (fun (a, b) ->
+             String.equal a n
+             && (not (List.mem b !seen))
+             && begin
+                  seen := b :: !seen;
+                  go b
+                end)
+           observed_edges
+    in
+    go src
+  in
+  List.iter
+    (fun ((sm : Race_summary.t), (e : Race_summary.event), b) ->
+      let held = named (Race_callgraph.may_held g e) in
+      List.iter
+        (fun a ->
+          if String.equal a b then
+            add sm e.e_pos "R002"
+              (Printf.sprintf
+                 "lock %S acquired while already held (self-deadlock)" b)
+          else if not (order_allows lockorder ~held:a ~acquired:b) then begin
+            let cyc =
+              if edge_reaches b a then
+                " — the pair participates in an acquisition cycle (deadlock)"
+              else ""
+            in
+            add sm e.e_pos "R002"
+              (Printf.sprintf
+                 "lock %S acquired while holding %S, a pair not sanctioned \
+                  by lockorder.sexp%s"
+                 b a cyc)
+          end)
+        held)
+    acquires;
+  (* R003 / R004 *)
+  List.iter
+    (fun ((sm : Race_summary.t), (e : Race_summary.event)) ->
+      match e.e_kind with
+      | Race_summary.Call name ->
+        let pooled = Race_callgraph.pooled_event g e in
+        if pooled && is_blocking name then
+          add sm e.e_pos "R003"
+            (Printf.sprintf
+               "blocking primitive %s inside a pooled task; tasks are \
+                compute-only (no IO, no Sim effects, no raw mutexes)"
+               name)
+        else if not (sanctioned_work sm.m_file) then begin
+          if is_work_merge name then
+            add sm e.e_pos "R004"
+              (Printf.sprintf
+                 "%s outside lib/util/pool: per-domain Work state merges \
+                  only inside the pool join (capture/absorb protocol)"
+                 name)
+          else if is_dls_ident name then
+            add sm e.e_pos "R004"
+              (Printf.sprintf
+                 "ambient Domain.DLS use %s; per-domain state belongs to \
+                  lib/util/{pool,work} and merges via capture/absorb"
+                 name)
+          else if pooled && is_work_read name then
+            add sm e.e_pos "R004"
+              (Printf.sprintf
+                 "%s inside a pooled task reads cross-domain Work counters \
+                  mid-capture; snapshot on the submitting domain after the \
+                  join"
+                 name)
+        end
+      | _ -> ())
+    all_events;
+  (* Inline [@glassdb.lint.allow] suppression, by character offset. *)
+  let allows_by_file = Hashtbl.create 16 in
+  List.iter
+    (fun (sm : Race_summary.t) ->
+      Hashtbl.replace allows_by_file sm.m_file sm.Race_summary.m_allows)
+    summaries;
+  let suppressed_by (f, off) =
+    match Hashtbl.find_opt allows_by_file f.f_file with
+    | None -> false
+    | Some allows ->
+      List.exists
+        (fun (lo, hi, r) ->
+          off >= lo && off <= hi
+          && (String.equal r f.f_rule || String.equal r "*"))
+        allows
+  in
+  let sup, live = List.partition suppressed_by !found in
+  { a_report =
+      { r_findings = sort_findings (List.map fst live @ !parse_failures);
+        r_suppressed = sort_findings (List.map fst sup) };
+    a_summaries = summaries;
+    a_graph = g;
+    a_roots = roots }
+
+(* --- human-readable dump (--summary): roots, pooled functions, lock
+   graph — the phase-1 artifacts, for debugging the analysis and for
+   extending it (DESIGN.md §4i). --- *)
+
+let describe (a : analysis) =
+  let buf = Buffer.create 1024 in
+  let dedup xs =
+    List.fold_left
+      (fun acc x -> if List.mem x acc then acc else x :: acc)
+      [] xs
+    |> List.rev
+  in
+  Buffer.add_string buf "roots:\n";
+  List.iter
+    (fun (r : Race_summary.root) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-32s %-6s%s  (%s:%d)\n" r.r_id
+           (match r.r_kind with
+            | Race_summary.Plain -> "plain"
+            | Race_summary.Atomic -> "atomic"
+            | Race_summary.Dls -> "dls")
+           (if r.r_lockful then " lock-assoc" else "")
+           r.r_file r.r_pos.px_line))
+    (dedup a.a_roots);
+  Buffer.add_string buf "pooled functions:\n";
+  List.iter
+    (fun fn ->
+      if Race_callgraph.pooled_fn a.a_graph fn then
+        Buffer.add_string buf (Printf.sprintf "  %s\n" fn))
+    (List.sort_uniq String.compare a.a_graph.Race_callgraph.g_fns);
+  Buffer.add_string buf "acquire edges (held -> acquired):\n";
+  let edges =
+    List.concat_map
+      (fun (sm : Race_summary.t) ->
+        List.concat_map
+          (fun (e : Race_summary.event) ->
+            match e.Race_summary.e_kind with
+            | Race_summary.Acquire b ->
+              List.filter_map
+                (fun h ->
+                  if String.equal h "?" || String.equal b "?" then None
+                  else Some (h ^ " -> " ^ b))
+                (named (Race_callgraph.may_held a.a_graph e))
+            | _ -> [])
+          sm.Race_summary.m_events)
+      a.a_summaries
+  in
+  List.iter
+    (fun e -> Buffer.add_string buf (Printf.sprintf "  %s\n" e))
+    (List.sort_uniq String.compare edges);
+  Buffer.contents buf
+
+(* --- whole-library scan --- *)
+
+let source_of_disk ~disk ~shown =
+  let mli_path = Filename.chop_suffix disk ".ml" ^ ".mli" in
+  { s_shown = shown;
+    s_src = read_file disk;
+    s_mli =
+      (if Sys.file_exists mli_path then Some (read_file mli_path) else None) }
+
+let scan ~root ~lockorder ~grants =
+  let libdir = if String.equal root "." then "lib" else Filename.concat root "lib" in
+  let sources =
+    List.map
+      (fun rel ->
+        source_of_disk
+          ~disk:(Filename.concat libdir rel)
+          ~shown:(Filename.concat "lib" rel))
+      (walk_mls libdir "")
+  in
+  let a = analyze ~lockorder sources in
+  { a with a_report = apply_grants grants a.a_report }
+
+(* --- fixture selftest --- *)
+
+(* Same naming protocol as glassdb-lint: <rule>_..._<case>.ml with case
+   pos | neg | sup; a directory <rule>_..._<case>/ is a multi-module
+   fixture (all its .ml files analyzed as one library, .mli siblings
+   honored).  lockorder comes from the fixture dir's lockorder.sexp (a
+   fixture directory may carry its own override); grants from
+   allow_fixture.sexp. *)
+
+let classify name =
+  match String.index_opt name '_' with
+  | None -> None
+  | Some i ->
+    let rule = String.uppercase_ascii (String.sub name 0 i) in
+    if not (List.mem rule rule_ids) then None
+    else begin
+      let stem = Filename.remove_extension name in
+      match String.rindex_opt stem '_' with
+      | None -> None
+      | Some j ->
+        (match String.sub stem (j + 1) (String.length stem - j - 1) with
+         | ("pos" | "neg" | "sup") as case -> Some (rule, case)
+         | _ -> None)
+    end
+
+let run_fixtures ~dir =
+  let grants = load_grants (Filename.concat dir "allow_fixture.sexp") in
+  let dir_lockorder = load_lockorder (Filename.concat dir "lockorder.sexp") in
+  let has rule fs = List.exists (fun f -> String.equal f.f_rule rule) fs in
+  let entries =
+    match Sys.readdir dir with
+    | entries ->
+      Array.sort String.compare entries;
+      Array.to_list entries
+    | exception Sys_error _ -> []
+  in
+  let verdict (rule, case) (report : report) =
+    match case with
+    | "pos" ->
+      ( has rule report.r_findings,
+        Printf.sprintf "expected a %s finding, got %d finding(s)" rule
+          (List.length report.r_findings) )
+    | "neg" ->
+      ( report.r_findings = [],
+        Printf.sprintf "expected clean, got %d finding(s)"
+          (List.length report.r_findings) )
+    | _ ->
+      ( report.r_findings = [] && has rule report.r_suppressed,
+        Printf.sprintf "expected %s suppressed (findings=%d suppressed=%d)"
+          rule
+          (List.length report.r_findings)
+          (List.length report.r_suppressed) )
+  in
+  List.filter_map
+    (fun name ->
+      let path = Filename.concat dir name in
+      if Filename.check_suffix name ".ml" then
+        match classify name with
+        | None -> None
+        | Some (rule, case) ->
+          let a =
+            analyze ~lockorder:dir_lockorder
+              [ source_of_disk ~disk:path ~shown:name ]
+          in
+          let report = apply_grants grants a.a_report in
+          let ok, detail = verdict (rule, case) report in
+          Some { x_name = name; x_ok = ok; x_detail = detail }
+      else if Sys.file_exists path && Sys.is_directory path then
+        match classify (name ^ ".ml") with
+        | None -> None
+        | Some (rule, case) ->
+          let sub_lockorder =
+            if Sys.file_exists (Filename.concat path "lockorder.sexp") then
+              load_lockorder (Filename.concat path "lockorder.sexp")
+            else dir_lockorder
+          in
+          let sources =
+            List.map
+              (fun rel ->
+                source_of_disk
+                  ~disk:(Filename.concat path rel)
+                  ~shown:(Filename.concat name rel))
+              (walk_mls path "")
+          in
+          let a = analyze ~lockorder:sub_lockorder sources in
+          let report = apply_grants grants a.a_report in
+          let ok, detail = verdict (rule, case) report in
+          Some { x_name = name; x_ok = ok; x_detail = detail }
+      else None)
+    entries
