@@ -1,0 +1,221 @@
+(* PR-9 measurement: write amplification vs blocks-per-hashify.
+
+   The layered write path (DESIGN.md §4j) defers Merkle authentication to
+   an explicit hashify pass, so N committed-map layers can fold into ONE
+   POS-tree batch insert and a single root recompute.  This sweep replays
+   the same deterministic workload — a fixed sequence of source block
+   deltas with cross-batch key overlap — at fold widths 1, 2, 4 and 8 and
+   reports, per width, the wall time and the store-write counts of the
+   whole append run.
+
+   The headline claim is write amplification: node writes per source
+   block must *strictly decrease* as blocks-per-hashify grows — wider
+   folds re-write shared tree paths once instead of once per block, drop
+   intra-fold superseded versions before they ever touch the tree, and
+   recompute the root once per group.  {!validate} enforces the strict
+   decrease, so the claim is pinned by the bench9-smoke alias in
+   `dune runtest`.  Results land in BENCH_9.json. *)
+
+open Glassdb_util
+module Ledger = Glassdb.Ledger
+
+(* Reuse bench1's JSON emitter/parser so the BENCH files cannot drift in
+   formatting. *)
+open Bench1
+
+let schema_id = "glassdb.bench9/v1"
+
+type scale = {
+  b_batches : int;  (* source block deltas in the workload *)
+  b_writes : int;   (* distinct keys written per delta *)
+  b_keyspace : int; (* key universe; < b_batches * b_writes, so deltas
+                       overlap and wider folds supersede versions *)
+}
+
+let scale ~quick =
+  if quick then { b_batches = 16; b_writes = 24; b_keyspace = 160 }
+  else { b_batches = 64; b_writes = 200; b_keyspace = 2_000 }
+
+let widths = [ 1; 2; 4; 8 ]
+
+let key_of = Printf.sprintf "key-%05d"
+
+(* The source workload, generated once and replayed at every width: the
+   sweep varies only how many deltas each hashify folds. *)
+let batches sc =
+  let rng = Random.State.make [| 0x9e37; sc.b_batches; sc.b_keyspace |] in
+  List.init sc.b_batches (fun b ->
+      let seen = Hashtbl.create 64 in
+      let writes = ref [] in
+      while Hashtbl.length seen < sc.b_writes do
+        let k = key_of (Random.State.int rng sc.b_keyspace) in
+        if not (Hashtbl.mem seen k) then begin
+          Hashtbl.replace seen k ();
+          writes :=
+            { Ledger.wkey = k;
+              wvalue = Printf.sprintf "v-%d-%d" b (Hashtbl.length seen);
+              wtid = Printf.sprintf "t%d" b }
+            :: !writes
+        end
+      done;
+      (float_of_int b, List.rev !writes))
+
+let rec chunk n = function
+  | [] -> []
+  | xs ->
+    let rec take k acc = function
+      | rest when k = 0 -> (List.rev acc, rest)
+      | [] -> (List.rev acc, [])
+      | x :: rest -> take (k - 1) (x :: acc) rest
+    in
+    let g, rest = take n [] xs in
+    g :: chunk n rest
+
+let sha_hex s = Hex.encode (Sha256.digest_string s)
+
+let run_width sc src width =
+  let store = Storage.Node_store.create () in
+  let ledger = ref (Ledger.create (Ledger.config store)) in
+  let groups = chunk width src in
+  let ((), work), wall =
+    Benchkit.Wallclock.wall_timed (fun () ->
+        Work.measure (fun () ->
+            List.iter
+              (fun g ->
+                let staged =
+                  Ledger.fold
+                    (List.map
+                       (fun (time, writes) ->
+                         Ledger.stage !ledger ~time ~writes ~txns:[])
+                       g)
+                in
+                let l', _ = Ledger.hashify !ledger staged in
+                ledger := l')
+              groups))
+  in
+  let d = Ledger.digest !ledger in
+  let digest =
+    sha_hex
+      (Printf.sprintf "%s|%d|%d|%d"
+         (Hex.encode d.Ledger.root)
+         d.Ledger.block_no
+         (Storage.Node_store.node_count store)
+         (Storage.Node_store.total_bytes store))
+  in
+  Obj
+    [ ("blocks_per_hashify", Num (float_of_int width));
+      ("source_blocks", Num (float_of_int sc.b_batches));
+      ("ledger_blocks", Num (float_of_int (List.length groups)));
+      ("wall_s", Num wall);
+      ("node_writes", Num (float_of_int work.Work.node_writes));
+      (* Write amplification per *source* block — the constant denominator
+         makes the strict-decrease claim a statement about total store
+         writes for the same committed data. *)
+      ("node_writes_per_block",
+       Num (float_of_int work.Work.node_writes /. float_of_int sc.b_batches));
+      ("bytes_written", Num (float_of_int work.Work.bytes_written));
+      ("hashes", Num (float_of_int work.Work.hashes));
+      ("store_node_count", Num (float_of_int (Storage.Node_store.node_count store)));
+      ("store_total_bytes", Num (float_of_int (Storage.Node_store.total_bytes store)));
+      ("duplicate_puts", Num (float_of_int (Storage.Node_store.duplicate_puts store)));
+      ("digest", Str digest) ]
+
+let run ~quick () =
+  let sc = scale ~quick in
+  let src = batches sc in
+  let rows =
+    List.map
+      (fun w ->
+        Printf.printf "bench9: fold width %d\n%!" w;
+        run_width sc src w)
+      widths
+  in
+  to_string
+    (Obj
+       [ ("schema", Str schema_id);
+         ("profile", Str (if quick then "smoke" else "full"));
+         ("widths", Arr (List.map (fun w -> Num (float_of_int w)) widths));
+         ("source_blocks", Num (float_of_int sc.b_batches));
+         ("runs", Arr rows) ])
+
+(* --- schema validation (used by the bench9-smoke alias) --- *)
+
+let validate text =
+  match parse text with
+  | exception Bad m -> Error ("malformed JSON: " ^ m)
+  | j ->
+    (try
+       (match field "schema" j with
+        | Some (Str s) when s = schema_id -> ()
+        | _ -> raise (Bad "schema tag"));
+       (match field "profile" j with
+        | Some (Str _) -> ()
+        | _ -> raise (Bad "profile"));
+       require_num j "source_blocks";
+       let widths_j =
+         match field "widths" j with
+         | Some (Arr (_ :: _ as l)) -> l
+         | _ -> raise (Bad "widths must be a non-empty array")
+       in
+       let runs =
+         match field "runs" j with
+         | Some (Arr (_ :: _ as l)) -> l
+         | _ -> raise (Bad "runs must be a non-empty array")
+       in
+       if List.length runs <> List.length widths_j then
+         raise (Bad "runs length must match widths");
+       let num r k =
+         match field k r with
+         | Some (Num n) -> n
+         | _ -> raise (Bad ("missing numeric field " ^ k))
+       in
+       List.iter2
+         (fun w r ->
+           (match w with
+            | Num n when n >= 1. -> ()
+            | _ -> raise (Bad "widths entry"));
+           let width = num r "blocks_per_hashify" in
+           (match w with
+            | Num n when n = width -> ()
+            | _ -> raise (Bad "runs out of order with widths"));
+           require_num r "wall_s";
+           let src = num r "source_blocks"
+           and blocks = num r "ledger_blocks" in
+           (* Every source delta lands in exactly one folded block. *)
+           if
+             blocks <> Float.of_int (int_of_float (ceil (src /. width)))
+           then raise (Bad "ledger_blocks inconsistent with fold width");
+           List.iter
+             (fun k -> if num r k < 0. then raise (Bad (k ^ " negative")))
+             [ "node_writes"; "node_writes_per_block"; "bytes_written";
+               "hashes"; "store_node_count"; "store_total_bytes";
+               "duplicate_puts" ];
+           match field "digest" r with
+           | Some (Str d) when String.length d > 0 -> ()
+           | _ -> raise (Bad "digest"))
+         widths_j runs;
+       (* The headline claim: write amplification strictly decreases as
+          blocks-per-hashify grows. *)
+       let per_block = List.map (fun r -> num r "node_writes_per_block") runs in
+       let rec strictly_decreasing = function
+         | a :: (b :: _ as rest) ->
+           if b >= a then
+             raise
+               (Bad
+                  (Printf.sprintf
+                     "node_writes_per_block not strictly decreasing (%g -> %g)"
+                     a b))
+           else strictly_decreasing rest
+         | _ -> ()
+       in
+       strictly_decreasing per_block;
+       Ok ()
+     with Bad m -> Error m)
+
+let run_and_write ~quick ~path () =
+  let text = run ~quick () in
+  (match validate text with
+   | Ok () -> ()
+   | Error m -> failwith ("bench9: generated JSON failed validation: " ^ m));
+  write_file path text;
+  Printf.printf "bench9: wrote %s (%d bytes)\n%!" path (String.length text)

@@ -1,0 +1,18 @@
+(* bench9-smoke: a tiny blocks-per-hashify sweep asserting the BENCH_9
+   schema and the write-amplification claim — node writes per source
+   block strictly decrease at fold widths 1/2/4/8.
+
+   Wired into `dune runtest` via the bench9-smoke alias, so a change that
+   makes folded hashify re-write as much as the per-block path fails the
+   test suite. *)
+
+let () =
+  let text = Bench9.run ~quick:true () in
+  match Bench9.validate text with
+  | Ok () ->
+    print_endline
+      "bench9-smoke: BENCH_9 schema OK (node writes per block strictly \
+       decrease at widths 1/2/4/8)"
+  | Error m ->
+    prerr_endline ("bench9-smoke: check FAILED: " ^ m);
+    exit 1

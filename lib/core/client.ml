@@ -70,12 +70,15 @@ let with_retry t ?ctx ~label f =
   in
   go 0
 
-(* Accept a new digest only when the server proves it extends the cached
-   one; otherwise count a detected violation and keep the old digest. *)
-let advance_digest t shard ~proof new_digest =
-  let old_digest = t.digests.(shard) in
-  if Ledger.verify_append_only ~old_digest ~new_digest proof then begin
-    if new_digest.Ledger.block_no > old_digest.Ledger.block_no then
+(* Accept a new digest only when the server proves it extends [from] —
+   the digest the proof was requested against, i.e. the client's view when
+   the RPC left.  The cache may advance past [from] while the request is
+   in flight (another fiber's verified reply landing first), so checking
+   against the live cache would misread the server's honest proof-of-an-
+   older-base as a violation.  The cache itself only ever moves forward. *)
+let advance_digest t shard ~from ~proof new_digest =
+  if Ledger.verify_append_only ~old_digest:from ~new_digest proof then begin
+    if new_digest.Ledger.block_no > t.digests.(shard).Ledger.block_no then
       t.digests.(shard) <- new_digest;
     true
   end
@@ -352,11 +355,14 @@ let verified_put t key value =
       { due = Sim.now () +. t.verify_delay; promise } :: t.pending;
     Ok promise
 
-let check_read t shard key expected (vr : Node.verified_read) ~current =
+let check_read t shard key expected ~from (vr : Node.verified_read) ~current =
   let started = Sim.now () in
   let ok, _cost =
     Cost.charged_time Cost.default (fun () ->
-        let append_ok = advance_digest t shard ~proof:vr.Node.vr_append vr.Node.vr_digest in
+        let append_ok =
+          advance_digest t shard ~from ~proof:vr.Node.vr_append
+            vr.Node.vr_digest
+        in
         let d = vr.Node.vr_digest in
         let value_ok =
           if current then
@@ -397,7 +403,7 @@ let verified_get_latest t key =
   | Error e -> Error e
   | Ok None -> Error (Error.Unavailable "nothing persisted yet")
   | Ok (Some vr) ->
-    let v = check_read t shard key vr.Node.vr_value vr ~current:true in
+    let v = check_read t shard key vr.Node.vr_value ~from vr ~current:true in
     let v = { v with v_latency = Sim.now () -. started } in
     Ok (vr.Node.vr_value, v)
 
@@ -421,7 +427,7 @@ let verified_get_at t key ~block =
   | Error e -> Error e
   | Ok None -> Error (Error.Unavailable "no such block")
   | Ok (Some vr) ->
-    let v = check_read t shard key vr.Node.vr_value vr ~current:false in
+    let v = check_read t shard key vr.Node.vr_value ~from vr ~current:false in
     let v = { v with v_latency = Sim.now () -. started } in
     Ok (vr.Node.vr_value, v)
 
@@ -498,7 +504,7 @@ let flush_verifications t ?(force = false) () =
                      header, upper path and multiproof hashed a single time
                      no matter how many promises resolve against it. *)
                   let append_ok =
-                    advance_digest t shard ~proof:appendp new_digest
+                    advance_digest t shard ~from ~proof:appendp new_digest
                   in
                   let by_block = Hashtbl.create 4 in
                   let proofs_ok =

@@ -6,6 +6,7 @@ type t = {
   sync_persist : bool;
   pattern_bits : int;
   queue_capacity : int;
+  blocks_per_hashify : int;
   cost : Cost.t;
   rtt : float;
   bandwidth : float;
@@ -18,11 +19,13 @@ type t = {
 
 let make ?(shards = 4) ?(workers = 8) ?(persist_interval = 0.05)
     ?(batching = true) ?(sync_persist = false) ?(pattern_bits = 5)
-    ?(queue_capacity = 4096) ?(cost = Cost.default) ?(rtt = 200e-6)
-    ?(bandwidth = 125e6) ?(rpc_timeout = 1.0) ?(rpc_retries = 2)
-    ?(retry_backoff = 0.01) ?(verify_delay = 0.1) ?faults () =
+    ?(queue_capacity = 4096) ?(blocks_per_hashify = 1) ?(cost = Cost.default)
+    ?(rtt = 200e-6) ?(bandwidth = 125e6) ?(rpc_timeout = 1.0)
+    ?(rpc_retries = 2) ?(retry_backoff = 0.01) ?(verify_delay = 0.1) ?faults
+    () =
   if shards <= 0 then invalid_arg "Config.make: shards";
   if workers <= 0 then invalid_arg "Config.make: workers";
+  if blocks_per_hashify < 1 then invalid_arg "Config.make: blocks_per_hashify";
   if rpc_timeout <= 0. then invalid_arg "Config.make: rpc_timeout";
   if rpc_retries < 0 then invalid_arg "Config.make: rpc_retries";
   if retry_backoff < 0. then invalid_arg "Config.make: retry_backoff";
@@ -34,6 +37,7 @@ let make ?(shards = 4) ?(workers = 8) ?(persist_interval = 0.05)
     sync_persist;
     pattern_bits;
     queue_capacity;
+    blocks_per_hashify;
     cost;
     rtt;
     bandwidth;
@@ -52,4 +56,5 @@ let node cfg =
     sync_persist = cfg.sync_persist;
     pattern_bits = cfg.pattern_bits;
     cost = cfg.cost;
-    queue_capacity = cfg.queue_capacity }
+    queue_capacity = cfg.queue_capacity;
+    blocks_per_hashify = cfg.blocks_per_hashify }

@@ -1,0 +1,66 @@
+module Kv = Txnkit.Kv
+module SMap = Map.Make (String)
+
+type write = { wkey : Kv.key; wvalue : Kv.value; wtid : Kv.txn_id }
+
+type delta = {
+  d_time : float;
+  d_writes : write list;     (* arrival order; at most one version per key *)
+  d_index : write SMap.t;    (* key -> its write, for O(log n) lookup *)
+  d_txns : Kv.signed_txn list;
+}
+
+let delta ~time ~writes ~txns =
+  let index =
+    List.fold_left
+      (fun m w ->
+        if SMap.mem w.wkey m then
+          invalid_arg "Layer.delta: duplicate key in delta"
+        else SMap.add w.wkey w m)
+      SMap.empty writes
+  in
+  { d_time = time; d_writes = writes; d_index = index; d_txns = txns }
+
+let time d = d.d_time
+let writes d = d.d_writes
+let txns d = d.d_txns
+let size d = List.length d.d_writes
+let find d key = SMap.find_opt key d.d_index
+
+let find_stack layers key = List.find_map (fun d -> find d key) layers
+
+let fold_merge layers =
+  match layers with
+  | [] -> invalid_arg "Layer.fold_merge: empty layer stack"
+  | [ d ] -> d
+  | ds ->
+    (* Walk the concatenated writes newest-first, keeping only the first
+       sighting of each key; prepending the keepers while walking restores
+       original order, so each surviving write sits at the position of the
+       key's *newest* occurrence.  This keeps the merged block's body —
+       and hence its body_root — a deterministic function of the stack. *)
+    let all = List.concat_map (fun d -> d.d_writes) ds in
+    let seen = Hashtbl.create (List.length all) in
+    let merged =
+      List.fold_left
+        (fun acc w ->
+          if Hashtbl.mem seen w.wkey then acc
+          else begin
+            Hashtbl.replace seen w.wkey ();
+            w :: acc
+          end)
+        [] (List.rev all)
+    in
+    let newest = List.nth ds (List.length ds - 1) in
+    delta ~time:newest.d_time ~writes:merged
+      ~txns:(List.concat_map (fun d -> d.d_txns) ds)
+
+module Flat = struct
+  type t = string Storage.Bptree.t
+
+  let create () = Storage.Bptree.create ()
+  let find t key = Storage.Bptree.find t key
+  let insert t key payload = Storage.Bptree.insert t key payload
+  let range t ~lo ~hi = Storage.Bptree.range t ~lo ~hi
+  let cardinal t = Storage.Bptree.cardinal t
+end

@@ -1,0 +1,66 @@
+(** Copy-on-write delta layers over a flat committed map.
+
+    The layered write path (DESIGN.md §4j) splits state *storage* from
+    state *authentication*: committed bindings live in a flat B+-tree
+    ({!Flat}) that answers point and range reads without touching the
+    POS-tree, while writes accumulate in a stack of immutable deltas.
+    Reads consult the stack top-down before falling through to the flat
+    map; {!Ledger.hashify} later folds the stack into one POS-tree batch
+    insert and a single root recompute.
+
+    A delta stack belongs to one linear ledger history.  Layers are pure
+    values; the flat map is shared, mutable state whose payloads carry
+    their version block, letting stale ledger views detect and reroute
+    reads of newer bindings (see [Ledger.get]). *)
+
+module Kv = Txnkit.Kv
+
+type write = { wkey : Kv.key; wvalue : Kv.value; wtid : Kv.txn_id }
+(** One committed write: the key, its new value, and the transaction that
+    produced it.  [Ledger.block_write] is an alias of this type. *)
+
+type delta
+(** One immutable write layer: the writes of one would-be block (at most
+    one version per key), the signed transactions vouching for them, and
+    the block creation time. *)
+
+val delta :
+  time:float -> writes:write list -> txns:Kv.signed_txn list -> delta
+(** Build a layer.  Raises [Invalid_argument] when [writes] binds the same
+    key twice — a layer holds one version per key by construction. *)
+
+val time : delta -> float
+val writes : delta -> write list
+(** The layer's writes in arrival order. *)
+
+val txns : delta -> Kv.signed_txn list
+val size : delta -> int
+val find : delta -> Kv.key -> write option
+
+val find_stack : delta list -> Kv.key -> write option
+(** Top-down search: [layers] newest first; the first layer binding the
+    key wins. *)
+
+val fold_merge : delta list -> delta
+(** Collapse a stack ([layers] *oldest* first) into the single delta that
+    {!Ledger.hashify} commits as one block: writes are concatenated and
+    each key keeps only its newest version, at the position of that
+    version; [time] is the newest layer's; transaction lists concatenate
+    oldest first.  Raises [Invalid_argument] on the empty stack. *)
+
+(** The flat committed map: every hashified binding's encoded payload,
+    keyed by data key, in an unauthenticated B+-tree.  Lookups are charged
+    as page reads per traversed node — cheaper than the POS-tree's
+    content-addressed chunk fetches, which is the point of the layered
+    read path. *)
+module Flat : sig
+  type t
+
+  val create : unit -> t
+  val find : t -> Kv.key -> string option
+  val insert : t -> Kv.key -> string -> unit
+  val range : t -> lo:Kv.key -> hi:Kv.key -> (Kv.key * string) list
+  (** Bindings with [lo <= key < hi], ascending. *)
+
+  val cardinal : t -> int
+end

@@ -2,6 +2,7 @@ open Glassdb_util
 module Kv = Txnkit.Kv
 module Pos_tree = Postree.Pos_tree
 module IMap = Map.Make (Int)
+module SMap = Map.Make (String)
 
 type config = {
   store : Storage.Node_store.t;
@@ -53,12 +54,21 @@ let digest_equal a b =
 let pp_digest fmt d =
   Format.fprintf fmt "#%d:%s" d.block_no (Hash.short d.root)
 
-type block_write = { wkey : Kv.key; wvalue : Kv.value; wtid : Kv.txn_id }
+type block_write = Layer.write = {
+  wkey : Kv.key;
+  wvalue : Kv.value;
+  wtid : Kv.txn_id;
+}
 
 type t = {
   cfg : config;
   upper : Pos_tree.t;
   states : Pos_tree.t;
+  flat : Layer.Flat.t;
+      (* The flat committed map: shared, mutable, append-only across the
+         functional versions of one linear history.  Payloads carry their
+         version block, so a stale view detects newer bindings (see
+         [flat_payload]). *)
   snapshots : Pos_tree.t IMap.t;
   headers : header IMap.t;
   bodies : (block_write list * Kv.signed_txn list) IMap.t;
@@ -70,6 +80,7 @@ let create cfg =
   { cfg;
     upper = Pos_tree.empty pcfg;
     states = Pos_tree.empty pcfg;
+    flat = Layer.Flat.create ();
     snapshots = IMap.empty;
     headers = IMap.empty;
     bodies = IMap.empty;
@@ -121,20 +132,56 @@ let body_root writes txns =
   Codec.write_list buf Kv.encode_signed_txn txns;
   Hash.of_string (Buffer.contents buf)
 
-let append_block t ~time ~writes ~txns =
+(* Latest-state lookup through the flat map.  The payload's version block
+   tells a stale view (one whose [latest] predates the binding) to reroute
+   the read to its own authenticated snapshot; absence from the flat map
+   is authoritative because the system never deletes keys. *)
+let flat_payload t key =
+  if t.latest < 0 then None
+  else
+    match Layer.Flat.find t.flat key with
+    | None -> None
+    | Some payload ->
+      let _, version, _ = decode_payload payload in
+      if version <= t.latest then Some payload else Pos_tree.get t.states key
+
+(* --- the staged write path (DESIGN.md §4j) --- *)
+
+(* A staged view: delta layers (oldest first) accumulated against the
+   ledger version [s_base], destined to become ONE block on hashify. *)
+type staged = { s_base : int; s_layers : Layer.delta list }
+
+let stage t ~time ~writes ~txns =
+  { s_base = t.latest; s_layers = [ Layer.delta ~time ~writes ~txns ] }
+
+let fold staged_list =
+  match staged_list with
+  | [] -> invalid_arg "Ledger.fold: empty staged list"
+  | s :: rest ->
+    List.iter
+      (fun s' ->
+        if not (Int.equal s'.s_base s.s_base) then
+          invalid_arg "Ledger.fold: staged views have different bases")
+      rest;
+    { s_base = s.s_base;
+      s_layers = List.concat_map (fun s -> s.s_layers) staged_list }
+
+let staged_layers s = List.length s.s_layers
+let staged_time s = Layer.time (Layer.fold_merge s.s_layers)
+let staged_txns s = Layer.txns (Layer.fold_merge s.s_layers)
+let staged_writes s = Layer.writes (Layer.fold_merge s.s_layers)
+
+let hashify t staged =
+  if not (Int.equal staged.s_base t.latest) then
+    invalid_arg "Ledger.hashify: staged against a different ledger version";
+  let merged = Layer.fold_merge staged.s_layers in
+  let writes = Layer.writes merged and txns = Layer.txns merged in
   let block_no = t.latest + 1 in
-  let seen = Hashtbl.create (List.length writes) in
-  List.iter
-    (fun w ->
-      if Hashtbl.mem seen w.wkey then
-        invalid_arg "Ledger.append_block: duplicate key in block";
-      Hashtbl.replace seen w.wkey ())
-    writes;
   let updates =
     List.map
       (fun w ->
         let prev =
-          match Pos_tree.get t.states w.wkey with
+          match flat_payload t w.wkey with
           | Some payload ->
             let _, version, _ = decode_payload payload in
             version
@@ -143,7 +190,11 @@ let append_block t ~time ~writes ~txns =
         (w.wkey, encode_payload ~value:w.wvalue ~version:block_no ~prev))
       writes
   in
+  (* One POS-tree batch and one root recompute cover the whole stack —
+     the coarser the fold, the more chunk builds amortize through the
+     Pool-parallel hashing inside [insert_batch]. *)
   let states = Pos_tree.insert_batch t.states updates in
+  List.iter (fun (k, payload) -> Layer.Flat.insert t.flat k payload) updates;
   let header =
     { block_no;
       state_root = Pos_tree.root_hash states;
@@ -152,7 +203,7 @@ let append_block t ~time ~writes ~txns =
          else header_hash (IMap.find t.latest t.headers));
       body_root = body_root writes txns;
       n_writes = List.length writes;
-      time }
+      time = Layer.time merged }
   in
   let upper =
     Pos_tree.insert_batch t.upper [ (block_key block_no, header_bytes header) ]
@@ -166,13 +217,14 @@ let append_block t ~time ~writes ~txns =
     IMap.add block_no states t.snapshots
     |> IMap.filter (fun b _ -> b > block_no - t.cfg.snapshot_retention)
   in
-  { t with
-    upper;
-    states;
-    snapshots;
-    headers = IMap.add block_no header t.headers;
-    bodies = IMap.add block_no (writes, txns) t.bodies;
-    latest = block_no }
+  ( { t with
+      upper;
+      states;
+      snapshots;
+      headers = IMap.add block_no header t.headers;
+      bodies = IMap.add block_no (writes, txns) t.bodies;
+      latest = block_no },
+    header )
 
 let state_at t block =
   if Int.equal block t.latest then Some t.states
@@ -196,6 +248,10 @@ let resident_snapshots t = IMap.cardinal t.snapshots
 let get ?block t key =
   let block = Option.value ~default:t.latest block in
   if block < 0 then None
+  else if Int.equal block t.latest then
+    (* Latest-state reads go through the flat map — no POS-tree chunk
+       fetches on the common path. *)
+    Option.map decode_payload (flat_payload t key)
   else
     match state_at t block with
     | None -> None
@@ -203,6 +259,14 @@ let get ?block t key =
       (match Pos_tree.get st key with
        | None -> None
        | Some payload -> Some (decode_payload payload))
+
+(* Reads against a staged view: the delta stack answers top-down (newest
+   layer first), then the flat map.  Stack hits are free like
+   committed-map hits — the deltas are small resident structures. *)
+let staged_get t staged key =
+  match Layer.find_stack (List.rev staged.s_layers) key with
+  | Some w -> Some w.wvalue
+  | None -> Option.map (fun (v, _, _) -> v) (get t key)
 
 let get_history t key ~n =
   let rec go block acc remaining =
@@ -237,22 +301,26 @@ type proof = {
   p_payload : string option;
 }
 
-let encode_proof buf p =
-  Codec.write_varint buf p.p_block;
-  Codec.write_string buf p.p_header;
-  Pos_tree.encode_proof buf p.p_upper;
-  Pos_tree.encode_proof buf p.p_lower;
-  Codec.write_option buf Codec.write_string p.p_payload
+let proof_codec : proof Codec.codec =
+  Codec.codec
+    ~encode:(fun buf p ->
+      Codec.write_varint buf p.p_block;
+      Codec.write_string buf p.p_header;
+      Pos_tree.encode_proof buf p.p_upper;
+      Pos_tree.encode_proof buf p.p_lower;
+      Codec.write_option buf Codec.write_string p.p_payload)
+    ~decode:(fun r ->
+      let p_block = Codec.read_varint r in
+      let p_header = Codec.read_string r in
+      let p_upper = Pos_tree.decode_proof r in
+      let p_lower = Pos_tree.decode_proof r in
+      let p_payload = Codec.read_option r Codec.read_string in
+      { p_block; p_header; p_upper; p_lower; p_payload })
+    ()
 
-let decode_proof r =
-  let p_block = Codec.read_varint r in
-  let p_header = Codec.read_string r in
-  let p_upper = Pos_tree.decode_proof r in
-  let p_lower = Pos_tree.decode_proof r in
-  let p_payload = Codec.read_option r Codec.read_string in
-  { p_block; p_header; p_upper; p_lower; p_payload }
-
-let proof_size_bytes p = String.length (Codec.to_string encode_proof p)
+let encode_proof = proof_codec.Codec.encode
+let decode_proof = proof_codec.Codec.decode
+let proof_size_bytes = proof_codec.Codec.size_bytes
 
 (* The batched wire encoding for a set of single-key proofs: the distinct
    headers and chunks once, then per-proof frames referencing them by
@@ -345,32 +413,35 @@ type batch_proof = {
       (** certified (key, encoded payload or absent), one per requested key *)
 }
 
-let encode_batch_proof buf p =
-  Codec.write_varint buf p.bp_block;
-  Codec.write_string buf p.bp_header;
-  Pos_tree.encode_proof buf p.bp_upper;
-  Pos_tree.encode_multiproof buf p.bp_lower;
-  Codec.write_list buf
-    (fun b (k, v) ->
-      Codec.write_string b k;
-      Codec.write_option b Codec.write_string v)
-    p.bp_items
+let batch_proof_codec : batch_proof Codec.codec =
+  Codec.codec
+    ~encode:(fun buf p ->
+      Codec.write_varint buf p.bp_block;
+      Codec.write_string buf p.bp_header;
+      Pos_tree.encode_proof buf p.bp_upper;
+      Pos_tree.encode_multiproof buf p.bp_lower;
+      Codec.write_list buf
+        (fun b (k, v) ->
+          Codec.write_string b k;
+          Codec.write_option b Codec.write_string v)
+        p.bp_items)
+    ~decode:(fun r ->
+      let bp_block = Codec.read_varint r in
+      let bp_header = Codec.read_string r in
+      let bp_upper = Pos_tree.decode_proof r in
+      let bp_lower = Pos_tree.decode_multiproof r in
+      let bp_items =
+        Codec.read_list r (fun r' ->
+            let k = Codec.read_string r' in
+            let v = Codec.read_option r' Codec.read_string in
+            (k, v))
+      in
+      { bp_block; bp_header; bp_upper; bp_lower; bp_items })
+    ()
 
-let decode_batch_proof r =
-  let bp_block = Codec.read_varint r in
-  let bp_header = Codec.read_string r in
-  let bp_upper = Pos_tree.decode_proof r in
-  let bp_lower = Pos_tree.decode_multiproof r in
-  let bp_items =
-    Codec.read_list r (fun r' ->
-        let k = Codec.read_string r' in
-        let v = Codec.read_option r' Codec.read_string in
-        (k, v))
-  in
-  { bp_block; bp_header; bp_upper; bp_lower; bp_items }
-
-let batch_proof_size_bytes p =
-  String.length (Codec.to_string encode_batch_proof p)
+let encode_batch_proof = batch_proof_codec.Codec.encode
+let decode_batch_proof = batch_proof_codec.Codec.decode
+let batch_proof_size_bytes = batch_proof_codec.Codec.size_bytes
 
 let prove_inclusion_batch t keys ~block =
   match (header_at t block, state_at t block) with
@@ -469,8 +540,7 @@ let prove_scan t ~lo ~hi ?block () =
       sp_range = Pos_tree.prove_range st ~lo ~hi }
   | _ -> invalid_arg "Ledger.prove_scan: no such block"
 
-let scan ?block t ~lo ~hi =
-  let block = Option.value ~default:t.latest block in
+let scan_at t block ~lo ~hi =
   match state_at t block with
   | None -> []
   | Some st ->
@@ -478,6 +548,46 @@ let scan ?block t ~lo ~hi =
     |> List.map (fun (k, payload) ->
            let v, _, _ = decode_payload payload in
            (k, v))
+
+let scan ?block t ~lo ~hi =
+  let block = Option.value ~default:t.latest block in
+  if Int.equal block t.latest && block >= 0 then begin
+    (* Flat-map range scan; if any row was written by a version newer than
+       this view, fall back to the authenticated snapshot wholesale. *)
+    let rows = Layer.Flat.range t.flat ~lo ~hi in
+    let current (_, payload) =
+      let _, version, _ = decode_payload payload in
+      version <= t.latest
+    in
+    if List.for_all current rows then
+      List.map
+        (fun (k, payload) ->
+          let v, _, _ = decode_payload payload in
+          (k, v))
+        rows
+    else scan_at t block ~lo ~hi
+  end
+  else scan_at t block ~lo ~hi
+
+(* Range read through a staged view: flat rows overlaid by the delta
+   stack, oldest to newest, so the newest layer's binding wins. *)
+let staged_scan t staged ~lo ~hi =
+  let in_range k = String.compare lo k <= 0 && String.compare k hi < 0 in
+  let base =
+    List.fold_left
+      (fun m (k, v) -> SMap.add k v m)
+      SMap.empty
+      (scan t ~lo ~hi)
+  in
+  let overlaid =
+    List.fold_left
+      (fun m d ->
+        List.fold_left
+          (fun m w -> if in_range w.wkey then SMap.add w.wkey w.wvalue m else m)
+          m (Layer.writes d))
+      base staged.s_layers
+  in
+  SMap.bindings overlaid
 
 let verify_scan ~digest ~lo ~hi ~rows p =
   match Codec.of_string decode_header p.sp_header with
@@ -510,22 +620,26 @@ type append_proof =
   | Same_digest
   | Head_inclusion of { a_header : string; a_upper : Pos_tree.proof }
 
-let encode_append_proof buf = function
-  | Same_digest -> Codec.write_bool buf false
-  | Head_inclusion { a_header; a_upper } ->
-    Codec.write_bool buf true;
-    Codec.write_string buf a_header;
-    Pos_tree.encode_proof buf a_upper
+let append_proof_codec : append_proof Codec.codec =
+  Codec.codec
+    ~encode:(fun buf p ->
+      match p with
+      | Same_digest -> Codec.write_bool buf false
+      | Head_inclusion { a_header; a_upper } ->
+        Codec.write_bool buf true;
+        Codec.write_string buf a_header;
+        Pos_tree.encode_proof buf a_upper)
+    ~decode:(fun r ->
+      if Codec.read_bool r then
+        let a_header = Codec.read_string r in
+        let a_upper = Pos_tree.decode_proof r in
+        Head_inclusion { a_header; a_upper }
+      else Same_digest)
+    ()
 
-let decode_append_proof r =
-  if Codec.read_bool r then
-    let a_header = Codec.read_string r in
-    let a_upper = Pos_tree.decode_proof r in
-    Head_inclusion { a_header; a_upper }
-  else Same_digest
-
-let append_proof_size_bytes p =
-  String.length (Codec.to_string encode_append_proof p)
+let encode_append_proof = append_proof_codec.Codec.encode
+let decode_append_proof = append_proof_codec.Codec.decode
+let append_proof_size_bytes = append_proof_codec.Codec.size_bytes
 
 let prove_append_only t ~old_block =
   if Int.equal old_block t.latest || old_block < 0 then Same_digest
@@ -562,8 +676,17 @@ let verify_append_only ~old_digest ~new_digest proof =
    they trigger is charged to "postree" / "verify" by the Pos_tree scopes
    nested inside (exclusive attribution, see Glassdb_util.Work). *)
 
+let stage t ~time ~writes ~txns =
+  Work.with_component "ledger" (fun () -> stage t ~time ~writes ~txns)
+
+let hashify t staged =
+  Work.with_component "ledger" (fun () -> hashify t staged)
+
+(* The legacy entry point is now a thin stage+hashify of a single-layer
+   stack — byte-identical blocks, headers and proofs to the eager path it
+   replaced. *)
 let append_block t ~time ~writes ~txns =
-  Work.with_component "ledger" (fun () -> append_block t ~time ~writes ~txns)
+  fst (hashify t (stage t ~time ~writes ~txns))
 
 let prove_inclusion t key ~block =
   Work.with_component "proof" (fun () -> prove_inclusion t key ~block)

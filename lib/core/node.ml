@@ -11,6 +11,7 @@ type config = {
   pattern_bits : int;
   cost : Cost.t;
   queue_capacity : int;
+  blocks_per_hashify : int;
 }
 
 let default_config =
@@ -20,7 +21,8 @@ let default_config =
     sync_persist = false;
     pattern_bits = 5;
     cost = Cost.default;
-    queue_capacity = 4096 }
+    queue_capacity = 4096;
+    blocks_per_hashify = 1 }
 
 type promise = {
   pr_shard : int;
@@ -67,7 +69,9 @@ let register_gauges t =
       float_of_int (Storage.Wal.size_bytes t.wal));
   g "glassdb.node.pending_blocks" (fun () ->
       float_of_int
-        (if t.cfg.batching then Committed_map.max_depth t.cmap
+        (if t.cfg.batching then
+           let w = max 1 t.cfg.blocks_per_hashify in
+           (Committed_map.max_depth t.cmap + w - 1) / w
          else Queue.length t.txn_blocks));
   g "glassdb.node.committed_keys" (fun () ->
       float_of_int (Committed_map.pending_keys t.cmap));
@@ -210,20 +214,47 @@ let parse_wal_block payload =
 
 (* --- persistence --- *)
 
-let block_of_writes t ~now writes =
-  let tids =
-    List.sort_uniq String.compare (List.map (fun (_, _, tid) -> tid) writes)
-  in
-  let txns = List.filter_map (Hashtbl.find_opt t.signed) tids in
-  let block_writes =
+(* Stage each drained layer as its own delta, fold the stack, and hashify
+   once: one POS-tree batch insert and one root recompute cover the whole
+   group (Ledger's staged write path, DESIGN.md §4j).  The WAL "block"
+   record carries every (tid, key) pair of the group — including versions
+   superseded inside the fold — so recovery never re-queues any of them.
+   Each signed transaction is attached to the first layer that mentions
+   it, so a txn whose writes span layers of one group ships once. *)
+let block_of_layers t ~now layers =
+  let seen_tids = Hashtbl.create 16 in
+  let staged =
     List.map
-      (fun (k, v, tid) -> { Ledger.wkey = k; wvalue = v; wtid = tid })
-      writes
+      (fun layer ->
+        let tids =
+          List.filter
+            (fun tid ->
+              if Hashtbl.mem seen_tids tid then false
+              else begin
+                Hashtbl.replace seen_tids tid ();
+                true
+              end)
+            (List.sort_uniq String.compare
+               (List.map (fun (_, _, tid) -> tid) layer))
+        in
+        let txns = List.filter_map (Hashtbl.find_opt t.signed) tids in
+        let writes =
+          List.map
+            (fun (k, v, tid) -> { Ledger.wkey = k; wvalue = v; wtid = tid })
+            layer
+        in
+        Ledger.stage t.ledger ~time:now ~writes ~txns)
+      layers
   in
-  t.ledger <- Ledger.append_block t.ledger ~time:now ~writes:block_writes ~txns;
+  let ledger, _header = Ledger.hashify t.ledger (Ledger.fold staged) in
+  t.ledger <- ledger;
   ignore
     (Storage.Wal.append t.wal ~kind:"block"
-       ~payload:(wal_block_payload ~block:(Ledger.latest_block t.ledger) writes))
+       ~payload:
+         (wal_block_payload ~block:(Ledger.latest_block t.ledger)
+            (List.concat layers)))
+
+let fold_width t = max 1 t.cfg.blocks_per_hashify
 
 (* Build at most one block; true when a block was appended.  The caller
    (the persister process) charges each step separately so ledger writes
@@ -232,10 +263,17 @@ let block_of_writes t ~now writes =
 let persist_step t ~now =
   if not t.is_alive then false
   else if t.cfg.batching then begin
-    match Committed_map.drain_layer t.cmap with
+    let rec drain n acc =
+      if n = 0 then List.rev acc
+      else
+        match Committed_map.drain_layer t.cmap with
+        | [] -> List.rev acc
+        | layer -> drain (n - 1) (layer :: acc)
+    in
+    match drain (fold_width t) [] with
     | [] -> false
-    | layer ->
-      block_of_writes t ~now layer;
+    | layers ->
+      block_of_layers t ~now layers;
       true
   end
   else begin
@@ -254,7 +292,7 @@ let persist_step t ~now =
         in
         if layer = [] then next ()
         else begin
-          block_of_writes t ~now layer;
+          block_of_layers t ~now [ layer ];
           true
         end
     in
@@ -264,7 +302,9 @@ let persist_step t ~now =
 (* Blocks a full drain would build right now; the persister bounds each
    wake-up by this so commits arriving mid-drain wait for the next one. *)
 let pending_blocks t =
-  if t.cfg.batching then Committed_map.max_depth t.cmap
+  if t.cfg.batching then
+    let w = fold_width t in
+    (Committed_map.max_depth t.cmap + w - 1) / w
   else Queue.length t.txn_blocks
 
 let persist t ~now =
@@ -321,7 +361,10 @@ let commit t ?ctx tid =
       if t.cfg.batching then
         List.map
           (fun (k, v) ->
-            let predicted = Committed_map.predict t.cmap ~persisted_block:persisted k in
+            let predicted =
+              Committed_map.predict ~fold:(fold_width t) t.cmap
+                ~persisted_block:persisted k
+            in
             Committed_map.add t.cmap ~predicted k v tid;
             { pr_shard = t.id; pr_tid = tid; pr_key = k; pr_value = v;
               pr_block = predicted })
@@ -534,7 +577,10 @@ let recover t =
       List.iter
         (fun (k, v) ->
           if not (Hashtbl.mem persisted (tid, k)) then begin
-            let predicted = Committed_map.predict t.cmap ~persisted_block k in
+            let predicted =
+              Committed_map.predict ~fold:(fold_width t) t.cmap
+                ~persisted_block k
+            in
             Committed_map.add t.cmap ~predicted k v tid;
             if not t.cfg.batching then Queue.add (tid, [ (k, v) ]) t.txn_blocks
           end)

@@ -18,6 +18,12 @@ type config = {
   pattern_bits : int;
   cost : Cost.t;
   queue_capacity : int;     (** max in-flight transactions before aborting *)
+  blocks_per_hashify : int;
+      (** committed-map layers folded into one block per hashify (batched
+          mode).  1 = one layer per block, the exact legacy behavior.
+          With larger folds, versions of a key superseded inside one
+          folded group never reach the ledger, so their deferred promises
+          cannot be proven — keep 1 when clients verify every write. *)
 }
 
 val default_config : config

@@ -535,13 +535,21 @@ let load cfg root =
 
 type proof = string list (* serialized chunks, root first *)
 
-let proof_size_bytes p =
-  List.fold_left (fun acc s -> acc + String.length s + 4) 0 p
+(* All three proof kinds are chunk lists on the wire; they share one codec
+   shape.  The accounting size charges each chunk plus a fixed 4-byte
+   frame — the modelled RPC framing, not the varint encoding. *)
+let chunk_list_codec : string list Codec.codec =
+  Codec.codec
+    ~size_bytes:(List.fold_left (fun acc s -> acc + String.length s + 4) 0)
+    ~encode:(fun buf p -> Codec.write_list buf Codec.write_string p)
+    ~decode:(fun r -> Codec.read_list r Codec.read_string)
+    ()
 
+let proof_codec : proof Codec.codec = chunk_list_codec
+let proof_size_bytes = proof_codec.Codec.size_bytes
 let proof_chunks p = p
-
-let encode_proof buf p = Codec.write_list buf Codec.write_string p
-let decode_proof r = Codec.read_list r Codec.read_string
+let encode_proof = proof_codec.Codec.encode
+let decode_proof = proof_codec.Codec.decode
 
 let prove t key =
   let top = Array.length t.levels - 1 in
@@ -587,11 +595,10 @@ let verify ~root ~key ~value proof =
 
 type multiproof = string list (* distinct serialized chunks, root first *)
 
-let multiproof_size_bytes p =
-  List.fold_left (fun acc s -> acc + String.length s + 4) 0 p
-
-let encode_multiproof buf p = Codec.write_list buf Codec.write_string p
-let decode_multiproof r = Codec.read_list r Codec.read_string
+let multiproof_codec : multiproof Codec.codec = chunk_list_codec
+let multiproof_size_bytes = multiproof_codec.Codec.size_bytes
+let encode_multiproof = multiproof_codec.Codec.encode
+let decode_multiproof = multiproof_codec.Codec.decode
 
 (* One walk for the whole (sorted, deduplicated) key set: each chunk on any
    covered root-to-leaf path is visited, charged and serialized exactly
@@ -685,11 +692,10 @@ let bindings_range t ~lo ~hi =
 
 type range_proof = string list (* distinct serialized chunks, root included *)
 
-let range_proof_size_bytes p =
-  List.fold_left (fun acc s -> acc + String.length s + 4) 0 p
-
-let encode_range_proof buf p = Codec.write_list buf Codec.write_string p
-let decode_range_proof r = Codec.read_list r Codec.read_string
+let range_proof_codec : range_proof Codec.codec = chunk_list_codec
+let range_proof_size_bytes = range_proof_codec.Codec.size_bytes
+let encode_range_proof = range_proof_codec.Codec.encode
+let decode_range_proof = range_proof_codec.Codec.decode
 
 (* Children of an index chunk that may hold keys in [lo, hi): child i covers
    [ikey_i, ikey_{i+1}), except child 0 which also covers anything below its

@@ -47,6 +47,11 @@ val bindings : t -> (string * string) list
 type proof
 (** Serialized chunks along the root-to-leaf search path. *)
 
+val proof_codec : proof Codec.codec
+(** Wire codec; the three functions below are its fields.  [size_bytes]
+    charges each chunk plus a fixed 4-byte frame (the modelled RPC
+    framing), not the exact varint encoding. *)
+
 val proof_size_bytes : proof -> int
 val encode_proof : Buffer.t -> proof -> unit
 val decode_proof : Codec.reader -> proof
@@ -70,6 +75,9 @@ type multiproof
     key batch.  Chunks shared between paths — the root always, and most
     upper levels for clustered keys — appear exactly once, so a batch of k
     keys costs far fewer bytes and hashes than k independent proofs. *)
+
+val multiproof_codec : multiproof Codec.codec
+(** Wire codec; the three functions below are its fields. *)
 
 val multiproof_size_bytes : multiproof -> int
 val encode_multiproof : Buffer.t -> multiproof -> unit
@@ -106,6 +114,9 @@ type range_proof
 (** The distinct chunks covering every root-to-leaf path that intersects
     the range; verification recurses into *every* intersecting child, so a
     server cannot omit entries (completeness) or inject them (soundness). *)
+
+val range_proof_codec : range_proof Codec.codec
+(** Wire codec; the three functions below are its fields. *)
 
 val range_proof_size_bytes : range_proof -> int
 val encode_range_proof : Buffer.t -> range_proof -> unit

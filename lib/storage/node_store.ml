@@ -31,6 +31,7 @@ type shard = {
   mutable lru_tail : lru_node option; (* eviction candidate *)
   mutable hits : int;
   mutable misses : int;
+  mutable dup_puts : int;
 }
 
 type t = { shards : shard array; capacity : int }
@@ -57,7 +58,8 @@ let create ?(cache_capacity = 512) () =
           lru_head = None;
           lru_tail = None;
           hits = 0;
-          misses = 0 })
+          misses = 0;
+          dup_puts = 0 })
   in
   { shards; capacity }
 
@@ -103,7 +105,14 @@ let put t h data =
   let s = shard_of t h in
   let fresh =
     Pool.Lock.with_lock s.lock (fun () ->
-        if Hashtbl.mem s.table h then false
+        if Hashtbl.mem s.table h then begin
+          (* Content-addressed: a re-put of an existing hash is the same
+             bytes (folded hashifies re-put shared chunks).  Idempotent
+             for the node/byte counters and Work charges; only the
+             duplicate-put stat moves. *)
+          s.dup_puts <- s.dup_puts + 1;
+          false
+        end
         else begin
           Hashtbl.replace s.table h data;
           s.bytes <- s.bytes + String.length data + Hash.size;
@@ -164,6 +173,9 @@ let cache_hits t =
 
 let cache_misses t =
   sum_shards t (fun s -> Pool.Lock.with_lock s.lock (fun () -> s.misses))
+
+let duplicate_puts t =
+  sum_shards t (fun s -> Pool.Lock.with_lock s.lock (fun () -> s.dup_puts))
 
 let cache_capacity t = t.capacity
 

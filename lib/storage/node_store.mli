@@ -45,6 +45,11 @@ val cache_hits : t -> int
 val cache_misses : t -> int
 (** Fetches that had to touch the backing table (including absent keys). *)
 
+val duplicate_puts : t -> int
+(** Puts of an already-stored hash — content-addressed re-puts (e.g. a
+    folded hashify re-writing shared chunks).  They leave [node_count],
+    [total_bytes] and the Work charges untouched. *)
+
 val cache_capacity : t -> int
 val cached_nodes : t -> int
 (** Nodes currently resident in the LRU. *)

@@ -12,13 +12,18 @@ let queue_of t k =
     Hashtbl.replace t.table k q;
     q
 
-let predict t ~persisted_block k =
+let predict ?(fold = 1) t ~persisted_block k =
+  if fold < 1 then invalid_arg "Committed_map.predict: fold";
   let depth =
     match Hashtbl.find_opt t.table k with
     | None -> 0
     | Some q -> Queue.length q
   in
-  persisted_block + depth + 1
+  (* Under folded persistence every drained group of [fold] layers becomes
+     one block, so queue position p lands in block
+     persisted + floor(p / fold) + 1; the new version enters at position
+     [depth]. *)
+  persisted_block + (depth / fold) + 1
 
 let add t ~predicted k value tid =
   Queue.add { value; predicted; tid } (queue_of t k)

@@ -90,3 +90,20 @@ let of_string dec s =
   let x = dec r in
   if not (at_end r) then raise (Malformed "trailing bytes");
   x
+
+type 'a codec = {
+  encode : Buffer.t -> 'a -> unit;
+  decode : reader -> 'a;
+  size_bytes : 'a -> int;
+}
+
+let codec ?size_bytes ~encode ~decode () =
+  let size_bytes =
+    match size_bytes with
+    | Some f -> f
+    | None -> fun x -> String.length (to_string encode x)
+  in
+  { encode; decode; size_bytes }
+
+let encode_to_string c x = to_string c.encode x
+let decode_of_string c s = of_string c.decode s

@@ -46,3 +46,30 @@ val to_string : (Buffer.t -> 'a -> unit) -> 'a -> string
 
 val of_string : (reader -> 'a) -> string -> 'a
 (** Run a decoder over a whole string; raises {!Malformed} if bytes remain. *)
+
+type 'a codec = {
+  encode : Buffer.t -> 'a -> unit;
+  decode : reader -> 'a;
+  size_bytes : 'a -> int;
+}
+(** A first-class serializer: the encode/decode pair plus the accounting
+    size used when charging simulated network transfer.  [size_bytes] is a
+    modelled cost, not necessarily [String.length (to_string encode x)] —
+    some proof codecs deliberately charge a framing overhead per element
+    rather than the exact varint framing. *)
+
+val codec :
+  ?size_bytes:('a -> int) ->
+  encode:(Buffer.t -> 'a -> unit) ->
+  decode:(reader -> 'a) ->
+  unit ->
+  'a codec
+(** Build a codec.  When [size_bytes] is omitted it defaults to the exact
+    encoded length (one throwaway encoding per call — fine for accounting,
+    avoid on hot paths). *)
+
+val encode_to_string : 'a codec -> 'a -> string
+(** [to_string c.encode]. *)
+
+val decode_of_string : 'a codec -> string -> 'a
+(** [of_string c.decode]; raises {!Malformed} on trailing bytes. *)

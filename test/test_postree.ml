@@ -216,6 +216,39 @@ let test_proof_codec_roundtrip () =
        ~value:(Some "val-123") p');
   Alcotest.(check bool) "size positive" true (Pos_tree.proof_size_bytes p > 0)
 
+let test_proof_codecs_match_legacy () =
+  (* The first-class codec records and the legacy per-proof function
+     triples must agree byte-for-byte (the triples are the records'
+     fields, but pin the equivalence against regressions). *)
+  let _, cfg = mk () in
+  let t = Pos_tree.insert_batch (Pos_tree.empty cfg) (kvs_of 300) in
+  let p = Pos_tree.prove t "key-00042" in
+  Alcotest.(check string) "proof encode = wrapper"
+    (Codec.to_string Pos_tree.encode_proof p)
+    (Codec.encode_to_string Pos_tree.proof_codec p);
+  Alcotest.(check int) "proof size = wrapper"
+    (Pos_tree.proof_size_bytes p)
+    (Pos_tree.proof_codec.Codec.size_bytes p);
+  let mp, _ = Pos_tree.prove_batch t [ "key-00001"; "key-00200"; "absent" ] in
+  Alcotest.(check string) "multiproof encode = wrapper"
+    (Codec.to_string Pos_tree.encode_multiproof mp)
+    (Codec.encode_to_string Pos_tree.multiproof_codec mp);
+  Alcotest.(check int) "multiproof size = wrapper"
+    (Pos_tree.multiproof_size_bytes mp)
+    (Pos_tree.multiproof_codec.Codec.size_bytes mp);
+  let rp = Pos_tree.prove_range t ~lo:"key-00100" ~hi:"key-00150" in
+  Alcotest.(check string) "range encode = wrapper"
+    (Codec.to_string Pos_tree.encode_range_proof rp)
+    (Codec.encode_to_string Pos_tree.range_proof_codec rp);
+  Alcotest.(check int) "range size = wrapper"
+    (Pos_tree.range_proof_size_bytes rp)
+    (Pos_tree.range_proof_codec.Codec.size_bytes rp);
+  (* decode field roundtrips through the record too *)
+  let bytes = Codec.encode_to_string Pos_tree.proof_codec p in
+  Alcotest.(check string) "proof decode roundtrips" bytes
+    (Codec.encode_to_string Pos_tree.proof_codec
+       (Codec.decode_of_string Pos_tree.proof_codec bytes))
+
 let proof_of_strings l =
   (* Forge a proof through the public codec, as a malicious server would. *)
   Codec.of_string Pos_tree.decode_proof
@@ -619,6 +652,8 @@ let () =
        [ Alcotest.test_case "presence and absence" `Quick test_proofs_presence_absence;
          Alcotest.test_case "stale snapshot rejected" `Quick test_proof_stale_snapshot_rejected_on_new_root;
          Alcotest.test_case "codec roundtrip" `Quick test_proof_codec_roundtrip;
+         Alcotest.test_case "codec records match legacy" `Quick
+           test_proof_codecs_match_legacy;
          Alcotest.test_case "garbage rejected" `Quick test_proof_garbage_rejected;
          Alcotest.test_case "size logarithmic" `Quick test_proof_size_scales_logarithmically ]
        @ qsuite [ prop_proofs_verify ]) ]

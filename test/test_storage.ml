@@ -9,9 +9,15 @@ let test_node_store_dedup () =
   let s = Node_store.create () in
   let h = Hash.of_string "node" in
   Node_store.put s h "payload";
+  Alcotest.(check int) "no duplicates yet" 0 (Node_store.duplicate_puts s);
   let bytes1 = Node_store.total_bytes s in
-  Node_store.put s h "payload";
+  let (), c = Work.measure (fun () -> Node_store.put s h "payload") in
   Alcotest.(check int) "dedup: second put free" bytes1 (Node_store.total_bytes s);
+  Alcotest.(check int) "dedup: second put not charged" 0
+    (c.Work.node_writes + c.Work.bytes_written);
+  Alcotest.(check int) "duplicate counted" 1 (Node_store.duplicate_puts s);
+  Node_store.put s h "payload";
+  Alcotest.(check int) "duplicates accumulate" 2 (Node_store.duplicate_puts s);
   Alcotest.(check int) "one node" 1 (Node_store.node_count s);
   Alcotest.(check (option string)) "get" (Some "payload") (Node_store.get s h);
   Alcotest.(check (option string)) "miss" None

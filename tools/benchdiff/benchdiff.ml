@@ -1,6 +1,6 @@
 (* benchdiff: compare two BENCH_*.json files with regression thresholds.
 
-     benchdiff [--threshold F] [--json] OLD.json NEW.json
+     benchdiff [--threshold F] [--volatile k1,k2] [--json] OLD.json NEW.json
 
    Exit status: 0 = no regressions, 1 = regressions found, 2 = usage or
    parse error.  With [--json] the report is the canonical
@@ -10,7 +10,9 @@
 module Diff = Benchdiff_core.Diff
 
 let usage () =
-  prerr_endline "usage: benchdiff [--threshold F] [--json] OLD.json NEW.json";
+  prerr_endline
+    "usage: benchdiff [--threshold F] [--volatile k1,k2] [--json] OLD.json \
+     NEW.json";
   exit 2
 
 let read_file path =
@@ -21,7 +23,10 @@ let read_file path =
     exit 2
 
 let () =
-  let threshold = ref 0.10 and json = ref false and files = ref [] in
+  let threshold = ref 0.10
+  and volatile = ref []
+  and json = ref false
+  and files = ref [] in
   let rec parse_args = function
     | [] -> ()
     | "--json" :: rest ->
@@ -34,7 +39,10 @@ let () =
          prerr_endline ("benchdiff: bad threshold: " ^ v);
          exit 2);
       parse_args rest
-    | "--threshold" :: [] -> usage ()
+    | "--volatile" :: v :: rest ->
+      volatile := !volatile @ String.split_on_char ',' v;
+      parse_args rest
+    | ("--threshold" | "--volatile") :: [] -> usage ()
     | arg :: _ when String.length arg > 1 && arg.[0] = '-' -> usage ()
     | file :: rest ->
       files := file :: !files;
@@ -44,8 +52,8 @@ let () =
   match List.rev !files with
   | [ old_path; new_path ] ->
     (match
-       Diff.diff_strings ~threshold:!threshold (read_file old_path)
-         (read_file new_path)
+       Diff.diff_strings ~threshold:!threshold ~volatile:!volatile
+         (read_file old_path) (read_file new_path)
      with
      | Error m ->
        prerr_endline ("benchdiff: " ^ m);

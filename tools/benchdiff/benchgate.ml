@@ -1,0 +1,81 @@
+(* benchgate: the bench-regression gate behind `dune build @benchgate`
+   (chained into `dune runtest`).
+
+     benchgate BENCH_5.json BENCH_5.gate.json
+     benchgate --write-baseline BENCH_5.gate.json
+
+   Three checks, any failure exits non-zero:
+
+   1. Structural gate: the committed full-profile BENCH_5.json still
+      parses and satisfies the bench5 schema and its determinism
+      contract (stage digests identical across pool sizes).
+   2. A fresh quick-profile micro sweep (pool sizes 1 and 2) runs and
+      validates — the artifact pipeline itself works on this tree.
+   3. Regression gate: the fresh sweep is diffed against the committed
+      quick-profile baseline BENCH_5.gate.json with the 10% benchdiff
+      threshold.  Timing-dependent sections are exempt ([--volatile]):
+      wall_s / speedup / host_cores leaves and the whole prof array vary
+      run to run; everything else — stage digests, metrics, counters,
+      schema shape — must hold within policy.
+
+   A legitimate behavior change (e.g. a new ledger digest) fails check 3
+   by design; regenerate the baseline with --write-baseline and commit
+   it alongside the change. *)
+
+module Diff = Benchdiff_core.Diff
+
+(* Timing varies between runs and hosts; everything else is the
+   deterministic contract the gate pins. *)
+let volatile = [ "wall_s"; "speedup"; "host_cores"; "prof" ]
+
+let read_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | s -> s
+  | exception Sys_error m ->
+    prerr_endline ("benchgate: " ^ m);
+    exit 2
+
+let fresh_sweep () =
+  let text = Bench5.run ~quick:true ~pool_sizes:[ 1; 2 ] () in
+  (match Bench5.validate text with
+   | Ok () -> ()
+   | Error m ->
+     prerr_endline ("benchgate: fresh sweep failed validation: " ^ m);
+     exit 1);
+  text
+
+let () =
+  match Array.to_list Sys.argv with
+  | [ _; "--write-baseline"; path ] ->
+    Bench1.write_file path (fresh_sweep ());
+    Printf.printf "benchgate: wrote baseline %s\n%!" path
+  | [ _; bench5_path; gate_path ] ->
+    (match Bench5.validate (read_file bench5_path) with
+     | Ok () ->
+       Printf.printf "benchgate: %s schema + determinism OK\n%!" bench5_path
+     | Error m ->
+       prerr_endline
+         (Printf.sprintf "benchgate: committed %s invalid: %s" bench5_path m);
+       exit 1);
+    let fresh = fresh_sweep () in
+    print_endline "benchgate: fresh quick sweep OK";
+    (match
+       Diff.diff_strings ~threshold:0.10 ~volatile (read_file gate_path) fresh
+     with
+     | Error m ->
+       prerr_endline ("benchgate: " ^ m);
+       exit 2
+     | Ok r ->
+       print_string (Diff.report_text r);
+       if Diff.regressions r > 0 then begin
+         prerr_endline
+           "benchgate: fresh sweep regressed against the committed baseline \
+            (regenerate with `benchgate --write-baseline BENCH_5.gate.json` \
+            if the change is intended)";
+         exit 1
+       end)
+  | _ ->
+    prerr_endline
+      "usage: benchgate BENCH_5.json BENCH_5.gate.json | benchgate \
+       --write-baseline PATH";
+    exit 2

@@ -98,7 +98,8 @@ let labels_of l =
 let fmt_delta old new_ =
   if old = 0. then None else Some ((new_ -. old) /. Float.abs old)
 
-let diff ?(threshold = 0.10) old_j new_j =
+let diff ?(threshold = 0.10) ?(volatile = []) old_j new_j =
+  let skip k = String.equal k "wallclock" || List.mem k volatile in
   let changes = ref [] and notes = ref [] in
   let note path msg =
     notes := Printf.sprintf "%s: %s" path msg :: !notes
@@ -137,14 +138,14 @@ let diff ?(threshold = 0.10) old_j new_j =
     | Obj fa, Obj fb ->
       List.iter
         (fun (k, va) ->
-          if k <> "wallclock" then
+          if not (skip k) then
             match List.assoc_opt k fb with
             | Some vb -> walk (path ^ "." ^ k) k va vb
             | None -> note (path ^ "." ^ k) "field removed")
         fa;
       List.iter
         (fun (k, _) ->
-          if k <> "wallclock" && List.assoc_opt k fa = None then
+          if (not (skip k)) && List.assoc_opt k fa = None then
             note (path ^ "." ^ k) "field added")
         fb
     | Arr la, Arr lb ->
@@ -180,10 +181,10 @@ let diff ?(threshold = 0.10) old_j new_j =
     r_changes = List.rev !changes;
     r_notes = List.rev !notes }
 
-let diff_strings ?threshold old_text new_text =
+let diff_strings ?threshold ?volatile old_text new_text =
   match (parse old_text, parse new_text) with
   | exception Bad m -> Error ("malformed JSON: " ^ m)
-  | old_j, new_j -> Ok (diff ?threshold old_j new_j)
+  | old_j, new_j -> Ok (diff ?threshold ?volatile old_j new_j)
 
 (* --- canonical output --- *)
 

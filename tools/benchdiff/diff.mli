@@ -29,12 +29,19 @@ type report = {
 val regressions : report -> int
 (** Gating total: regression changes plus structural notes. *)
 
-val diff : ?threshold:float -> Bench1.json -> Bench1.json -> report
+val diff :
+  ?threshold:float -> ?volatile:string list ->
+  Bench1.json -> Bench1.json -> report
 (** [diff old new]: [threshold] is the relative change above which a
-    numeric leaf is reported (default 0.10). *)
+    numeric leaf is reported (default 0.10).  Object fields named in
+    [volatile] are skipped entirely on both sides (in addition to the
+    always-skipped "wallclock" block) — use it to exempt timing-dependent
+    sections ("wall_s", "speedup", "prof", ...) when gating a fresh run
+    against a committed baseline. *)
 
 val diff_strings :
-  ?threshold:float -> string -> string -> (report, string) result
+  ?threshold:float -> ?volatile:string list ->
+  string -> string -> (report, string) result
 (** Parse both texts and diff; [Error] on malformed JSON. *)
 
 val schema_id : string
