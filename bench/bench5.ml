@@ -25,11 +25,15 @@ module Kv = Txnkit.Kv
    in formatting. *)
 open Bench1
 
-(* v3: adds a per-pool-size "prof" section (glassdb.prof/v1: per-domain
-   utilization, queue-wait histogram, per-lock contention) and a sampled
-   "metrics" section with its own cross-size digest verdict.  v2 carried
-   stage rows + digests only; v1 was the speedup-only draft shape. *)
-let schema_id = "glassdb.bench5/v3"
+(* v4: adds a per-pool-size "granularity" section — the deterministic
+   task-sizing counters of the cost-aware pool (job/task counts, bypass
+   jobs/items, declared cost units, the work threshold in force) — and,
+   on multi-core hosts, gates that the hashing-bound stages (pos_build,
+   proofs) actually speed up at pool size 4.  v3 added the per-pool-size
+   "prof" section (glassdb.prof/v1) and the sampled "metrics" section;
+   v2 carried stage rows + digests only; v1 was the speedup-only draft
+   shape. *)
+let schema_id = "glassdb.bench5/v4"
 
 type scale = {
   s_keys : int;          (* keys in the POS-tree build *)
@@ -222,21 +226,39 @@ let run ~quick ~pool_sizes () =
                       (fun (k, v) -> (k, of_export v))
                       (Obs.Export.prof_fields ()))
             in
-            (n, stages, prof, metrics))
+            (* Task-sizing counters are pure functions of the workload,
+               the pool size and the work threshold — no wall-clock input
+               — so unlike "prof" this section is NOT volatile and the
+               regression gate pins it. *)
+            let gran =
+              let p = (Obs.Prof.snapshot ()).Obs.Prof.s_pool in
+              let num i = Num (float_of_int i) in
+              Obj
+                [ ("pool_size", num n);
+                  ("work_threshold", num (Pool.work_threshold ()));
+                  ("jobs", num p.Obs.Prof.p_jobs);
+                  ("parallel_jobs", num p.Obs.Prof.p_parallel_jobs);
+                  ("bypass_jobs", num p.Obs.Prof.p_bypass_jobs);
+                  ("bypass_items", num p.Obs.Prof.p_bypass_items);
+                  ("tasks", num p.Obs.Prof.p_tasks);
+                  ("cost_units", num p.Obs.Prof.p_cost_units) ]
+            in
+            (n, stages, prof, gran, metrics))
           pool_sizes
       in
       let metrics_digests =
-        List.map (fun (_, _, _, m) -> sha_hex (to_string m)) runs
+        List.map (fun (_, _, _, _, m) -> sha_hex (to_string m)) runs
       in
       let metrics_digest_equal =
         match metrics_digests with
         | [] -> true
         | d :: rest -> List.for_all (String.equal d) rest
       in
-      let runs = List.map (fun (n, stages, _, _) -> (n, stages)) runs
-      and profs = List.map (fun (_, _, p, _) -> p) runs
+      let runs = List.map (fun (n, stages, _, _, _) -> (n, stages)) runs
+      and profs = List.map (fun (_, _, p, _, _) -> p) runs
+      and grans = List.map (fun (_, _, _, g, _) -> g) runs
       and metrics0 =
-        match runs with (_, _, _, m) :: _ -> m | [] -> assert false
+        match runs with (_, _, _, _, m) :: _ -> m | [] -> assert false
       in
       let stage_row name =
         let per_size =
@@ -279,6 +301,7 @@ let run ~quick ~pool_sizes () =
              ("host_cores", Num (float_of_int (Domain.recommended_domain_count ())));
              ("stages", Arr (List.map snd rows));
              ("digests_equal", Bool all_equal);
+             ("granularity", Arr grans);
              ("prof", Arr profs);
              ("metrics", metrics0);
              ("metrics_digest_equal", Bool metrics_digest_equal) ]))
@@ -350,6 +373,62 @@ let validate text =
          (fun n ->
            if not (List.mem n seen) then raise (Bad ("missing stage " ^ n)))
          stage_names;
+       (* v4: the pool has to pay off where the work is hashing-bound.
+          Hosts with a single core cannot speed anything up (the extra
+          domains just time-slice), so the gate only bites when the host
+          reports more than one core and the sweep actually ran size 4. *)
+       let host_cores =
+         match field "host_cores" j with
+         | Some (Num c) -> c
+         | _ -> assert false (* require_num above *)
+       in
+       if host_cores > 1. && List.mem (Num 4.) pool_sizes then
+         List.iter
+           (fun name ->
+             let st =
+               List.find (fun st -> field "stage" st = Some (Str name)) stages
+             in
+             let runs =
+               match field "runs" st with Some (Arr l) -> l | _ -> []
+             in
+             match
+               List.find_opt
+                 (fun r -> field "pool_size" r = Some (Num 4.))
+                 runs
+             with
+             | Some r ->
+               (match field "speedup" r with
+                | Some (Num s) when s > 1.0 -> ()
+                | _ ->
+                  raise
+                    (Bad
+                       (name
+                        ^ ": no speedup at pool size 4 on a multi-core host")))
+             | None -> raise (Bad (name ^ ": missing pool-size-4 run")))
+           [ "pos_build"; "proofs" ];
+       (* v4: one deterministic task-sizing row per pool size. *)
+       let grans =
+         match field "granularity" j with
+         | Some (Arr l) -> l
+         | _ -> raise (Bad "granularity must be an array")
+       in
+       if List.length grans <> List.length pool_sizes then
+         raise (Bad "granularity length must match pool_sizes");
+       List.iter2
+         (fun size g ->
+           if field "pool_size" g <> Some size then
+             raise (Bad "granularity.pool_size order");
+           List.iter (require_num g)
+             [ "work_threshold"; "jobs"; "parallel_jobs"; "bypass_jobs";
+               "bypass_items"; "tasks"; "cost_units" ];
+           let num k =
+             match field k g with Some (Num n) -> n | _ -> assert false
+           in
+           if num "parallel_jobs" +. num "bypass_jobs" > num "jobs" then
+             raise (Bad "granularity: job counts inconsistent");
+           if num "cost_units" <= 0. then
+             raise (Bad "granularity.cost_units must be > 0"))
+         pool_sizes grans;
        (* v3: one glassdb.prof/v1 section per pool size, each with
           per-domain rows covering exactly that pool size and at least one
           named lock (the node-store shards are always exercised). *)

@@ -145,6 +145,60 @@ let () =
   if not (linked ~cat:"node" "persist") then
     fail "no persist span linked to a client trace";
   Obs.Prof.disable ();
+
+  (* --- sub-threshold batches bypass the pool entirely --- *)
+  (* A pos-tree build whose chunk costs total well under the work
+     threshold must submit zero pool tasks even with a multi-domain pool:
+     the cost-aware path hashes inline and stamps the job as a bypass. *)
+  let prev_size = Glassdb_util.Pool.global_size () in
+  Glassdb_util.Pool.set_global_size 2;
+  Obs.Prof.enable ();
+  let store = Storage.Node_store.create () in
+  let pcfg = Postree.Pos_tree.config store in
+  let items =
+    List.init 200 (fun i -> (Printf.sprintf "bypass-key-%04d" i, "v"))
+  in
+  let tree =
+    Postree.Pos_tree.insert_batch (Postree.Pos_tree.empty pcfg) items
+  in
+  (* Guard the fixture itself: a single-chunk level takes build_chunks'
+     fast path and never reaches the pool, which would make the
+     assertions below vacuous. *)
+  if Postree.Pos_tree.height tree < 2 then
+    fail "bypass fixture built a single-chunk tree (fast path, no job)";
+  let p = (Obs.Prof.snapshot ()).Obs.Prof.s_pool in
+  if p.Obs.Prof.p_parallel_jobs <> 0 then
+    fail
+      (Printf.sprintf "sub-threshold build submitted %d pool job(s)"
+         p.Obs.Prof.p_parallel_jobs);
+  if p.Obs.Prof.p_bypass_jobs = 0 then
+    fail "sub-threshold build recorded no bypass jobs";
+  if p.Obs.Prof.p_bypass_items = 0 then
+    fail "sub-threshold build recorded no bypass items";
+  if p.Obs.Prof.p_cost_units <= 0 then
+    fail "sub-threshold build recorded no cost units";
+  Obs.Prof.disable ();
+  Glassdb_util.Pool.set_global_size prev_size;
+
+  (* --- digest_many charges hashing Work identically to serial --- *)
+  let inputs = Array.init 64 (fun i -> Printf.sprintf "work-eq-%03d" i) in
+  let serial, w_serial =
+    Glassdb_util.Work.measure (fun () ->
+        Array.map Glassdb_util.Hash.of_string inputs)
+  in
+  let batched, w_batched =
+    Glassdb_util.Work.measure (fun () ->
+        Glassdb_util.Hash.digest_many (fun s push -> push s) inputs)
+  in
+  if not (Array.for_all2 Glassdb_util.Hash.equal serial batched) then
+    fail "digest_many digests differ from serial of_string";
+  if w_serial.Glassdb_util.Work.hashes <> w_batched.Glassdb_util.Work.hashes
+  then
+    fail
+      (Printf.sprintf "digest_many Work.hashes %d <> serial %d"
+         w_batched.Glassdb_util.Work.hashes w_serial.Glassdb_util.Work.hashes);
+
   Printf.printf
-    "prof-smoke: prof schema OK, %d trace events, cross-node spans linked\n"
-    (List.length events)
+    "prof-smoke: prof schema OK, %d trace events, cross-node spans linked, \
+     bypass %d job(s) / %d item(s)\n"
+    (List.length events) p.Obs.Prof.p_bypass_jobs p.Obs.Prof.p_bypass_items

@@ -9,6 +9,7 @@ type t = {
 }
 
 let create cfg =
+  Glassdb_util.Pool.set_work_threshold cfg.Config.pool_work_threshold;
   { cfg;
     nodes =
       Array.init cfg.Config.shards (fun i ->
@@ -92,13 +93,16 @@ let persister t nd =
    per-node drains fan out across the domain pool; block counts join in
    shard order.  The tasks are Sim-free: [Node.persist] takes the
    timestamp explicitly, and any nested pool use inside a drain (the tree
-   build) runs inline on the task's domain. *)
+   build) runs inline on the task's domain.  Granularity is cost-aware:
+   [Node.persist_cost] (backlog bytes) sizes the tasks, so a node with a
+   heavy backlog gets its own domain while near-empty sweeps bypass the
+   pool entirely. *)
 let persist_all t ~now =
-  Glassdb_util.Pool.run
+  Glassdb_util.Pool.parallel_map ~cost:Node.persist_cost
     (Glassdb_util.Pool.global ())
-    (Array.to_list t.nodes
-    |> List.map (fun nd () -> if Node.alive nd then Node.persist nd ~now else 0))
-  |> List.fold_left ( + ) 0
+    (fun nd -> if Node.alive nd then Node.persist nd ~now else 0)
+    t.nodes
+  |> Array.fold_left ( + ) 0
 
 let crash_node t i =
   Obs.Trace.instant ~cat:"fault" ~attrs:[ ("shard", string_of_int i) ]

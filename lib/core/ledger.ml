@@ -461,7 +461,10 @@ let prove_inclusion_batch t keys ~block =
    node store, and the store must observe the serial access order — while
    the pool tasks only walk resident in-memory trees and serialize chunks.
    Results join in block order, so the proof byte-strings and Work charges
-   are identical to mapping [prove_inclusion_batch] over the groups. *)
+   are identical to mapping [prove_inclusion_batch] over the groups.
+   Tasks are sized by requested key bytes plus a fixed per-key walk charge
+   — a rough proxy for chunks serialized — so one-key flushes bypass the
+   pool while fat groups split. *)
 let prove_inclusion_batches t groups =
   let resolved =
     List.map
@@ -471,16 +474,19 @@ let prove_inclusion_batches t groups =
         | _ -> invalid_arg "Ledger.prove_inclusion_batches: no such block")
       groups
   in
-  Pool.run (Pool.global ())
-    (List.map
-       (fun (block, keys, header, st) () ->
-         let lower, items = Pos_tree.prove_batch st keys in
-         { bp_block = block;
-           bp_header = header_bytes header;
-           bp_upper = Pos_tree.prove t.upper (block_key block);
-           bp_lower = lower;
-           bp_items = items })
-       resolved)
+  let group_cost (_, keys, _, _) =
+    List.fold_left (fun acc k -> acc + String.length k + 512) 0 keys
+  in
+  Pool.parallel_map ~cost:group_cost (Pool.global ())
+    (fun (block, keys, header, st) ->
+      let lower, items = Pos_tree.prove_batch st keys in
+      { bp_block = block;
+        bp_header = header_bytes header;
+        bp_upper = Pos_tree.prove t.upper (block_key block);
+        bp_lower = lower;
+        bp_items = items })
+    (Array.of_list resolved)
+  |> Array.to_list
 
 (* Header and upper-tree inclusion are checked once for the whole batch;
    the multiproof then certifies every (key, payload) pair against the

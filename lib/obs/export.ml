@@ -195,6 +195,9 @@ let prof_fields () =
         [ ("pool_size", int' p.Prof.p_pool_size);
           ("jobs", int' p.Prof.p_jobs);
           ("parallel_jobs", int' p.Prof.p_parallel_jobs);
+          ("bypass_jobs", int' p.Prof.p_bypass_jobs);
+          ("bypass_items", int' p.Prof.p_bypass_items);
+          ("cost_units", int' p.Prof.p_cost_units);
           ("nested_inline_jobs", int' p.Prof.p_nested_inline_jobs);
           ("nested_inline_items", int' p.Prof.p_nested_inline_items);
           ("tasks", int' p.Prof.p_tasks);

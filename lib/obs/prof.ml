@@ -35,6 +35,9 @@ type pool_stats = {
   p_pool_size : int;
   p_jobs : int;
   p_parallel_jobs : int;
+  p_bypass_jobs : int;
+  p_bypass_items : int;
+  p_cost_units : int;
   p_nested_inline_jobs : int;
   p_nested_inline_items : int;
   p_tasks : int;
@@ -64,6 +67,9 @@ type state = {
   mutable clock : unit -> float;
   mutable jobs : int;
   mutable parallel_jobs : int;
+  mutable bypass_jobs : int;
+  mutable bypass_items : int;
+  mutable cost_units : int;
   nested_jobs : int Atomic.t;
   nested_items : int Atomic.t;
   mutable tasks : int;
@@ -82,6 +88,9 @@ let st =
     clock = default_clock;
     jobs = 0;
     parallel_jobs = 0;
+    bypass_jobs = 0;
+    bypass_items = 0;
+    cost_units = 0;
     nested_jobs = Atomic.make 0;
     nested_items = Atomic.make 0;
     tasks = 0;
@@ -97,6 +106,9 @@ let enabled () = st.enabled
 let reset () =
   st.jobs <- 0;
   st.parallel_jobs <- 0;
+  st.bypass_jobs <- 0;
+  st.bypass_items <- 0;
+  st.cost_units <- 0;
   Atomic.set st.nested_jobs 0;
   Atomic.set st.nested_items 0;
   st.tasks <- 0;
@@ -119,6 +131,11 @@ let dcell id =
 let on_job (j : Pool.job_sample) =
   st.jobs <- st.jobs + 1;
   if not j.Pool.js_inline then st.parallel_jobs <- st.parallel_jobs + 1;
+  if j.Pool.js_bypass then begin
+    st.bypass_jobs <- st.bypass_jobs + 1;
+    st.bypass_items <- st.bypass_items + j.Pool.js_items
+  end;
+  st.cost_units <- st.cost_units + j.Pool.js_cost;
   st.tasks <- st.tasks + j.Pool.js_tasks;
   st.items <- st.items + j.Pool.js_items;
   if j.Pool.js_chunk < st.chunk_min then st.chunk_min <- j.Pool.js_chunk;
@@ -205,6 +222,9 @@ let pool_snapshot () =
   { p_pool_size = size;
     p_jobs = st.jobs;
     p_parallel_jobs = st.parallel_jobs;
+    p_bypass_jobs = st.bypass_jobs;
+    p_bypass_items = st.bypass_items;
+    p_cost_units = st.cost_units;
     p_nested_inline_jobs = Atomic.get st.nested_jobs;
     p_nested_inline_items = Atomic.get st.nested_items;
     p_tasks = st.tasks;

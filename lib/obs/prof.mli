@@ -39,6 +39,9 @@ type pool_stats = {
   p_pool_size : int;           (** current global pool size *)
   p_jobs : int;                (** jobs observed (parallel + inline) *)
   p_parallel_jobs : int;
+  p_bypass_jobs : int;         (** small-batch bypasses (cost < threshold) *)
+  p_bypass_items : int;
+  p_cost_units : int;          (** total declared [~cost] over all jobs *)
   p_nested_inline_jobs : int;  (** maps that ran inline inside a task *)
   p_nested_inline_items : int;
   p_tasks : int;

@@ -31,8 +31,14 @@ type t = {
 
 (* --- serialization --- *)
 
+(* Chunk serialization reuses one per-domain buffer: proofs and rebuilds
+   serialize thousands of chunks, and each call fully consumes
+   [Buffer.contents] before the next, so the scratch contract holds. *)
+let ser_buf : Buffer.t Scratch.t = Scratch.create (fun () -> Buffer.create 4096)
+
 let serialize_chunk ~leaf (items : Chunker.item array) =
-  let buf = Buffer.create 256 in
+  let buf = Scratch.get ser_buf in
+  Buffer.clear buf;
   Buffer.add_char buf (if leaf then 'L' else 'I');
   Codec.write_varint buf (Array.length items);
   Array.iter
@@ -42,12 +48,36 @@ let serialize_chunk ~leaf (items : Chunker.item array) =
     items;
   Buffer.contents buf
 
+(* The two level-tag digests are constants; hashing them once at module
+   initialization keeps them out of every chunk's hash count. *)
+let leaf_tag = Hash.leaf "L"
+let interior_tag = Hash.leaf "I"
+
 (* Chunk hash: combine of the (memoized) item hashes plus a level tag, so
-   rebuilding a chunk only hashes the items that changed. *)
-let chunk_hash ~leaf items =
-  Hash.combine
-    ((if leaf then Hash.leaf "L" else Hash.leaf "I")
-     :: (Array.to_list items |> List.map Chunker.item_hash))
+   rebuilding a chunk only hashes the items that changed.  [combine_feed]
+   streams tag and item digests through the per-domain scratch context —
+   no intermediate list, no per-chunk hashing context. *)
+let chunk_hash ~leaf (items : Chunker.item array) =
+  Hash.combine_feed (fun push ->
+      push (if leaf then leaf_tag else interior_tag);
+      Array.iter (fun it -> push (Chunker.item_hash it)) items)
+
+(* Per-chunk work estimate for {!Glassdb_util.Pool.parallel_map}'s [~cost]
+   hook: bytes hashed when every item memo misses — each item's kv
+   preimage plus the 32-byte digest fed to the combine — plus the combine
+   tag and envelope.  An overestimate when memos hit, but proportional
+   either way, which is all granularity selection needs. *)
+let chunk_cost (items : Chunker.item array) =
+  let c = ref (33 + (32 * Array.length items)) in
+  Array.iter
+    (fun it ->
+      c :=
+        !c
+        + String.length (Chunker.item_key it)
+        + String.length (Chunker.item_payload it)
+        + 8)
+    items;
+  !c
 
 let parse_chunk s =
   let r = Codec.reader s in
@@ -90,7 +120,7 @@ let build_chunks cfg ~leaf arrays =
   | _ ->
     let arrs = Array.of_list arrays in
     let hashes =
-      Pool.parallel_map (Pool.global ())
+      Pool.parallel_map ~cost:chunk_cost (Pool.global ())
         (fun items -> chunk_hash ~leaf items)
         arrs
     in
@@ -656,13 +686,28 @@ let verify_batch ~root ~items proof =
     | _ ->
       let by_hash = Hashtbl.create 32 in
       let ok = ref true in
+      (* Parse every chunk first, then authenticate the whole batch
+         through one scratch context ({!Hash.combine_many}); feeding item
+         digests is exactly what [chunk_hash] does per chunk. *)
+      let parsed = ref [] in
       List.iter
         (fun s ->
           match parse_chunk s with
           | exception Codec.Malformed _ -> ok := false
           | _, [||] -> ok := false
-          | leaf, its -> Hashtbl.replace by_hash (chunk_hash ~leaf its) (leaf, its))
+          | leaf, its -> parsed := (leaf, its) :: !parsed)
         proof;
+      let parsed = Array.of_list (List.rev !parsed) in
+      let hashes =
+        Hash.combine_many
+          (fun (leaf, its) push ->
+            push (if leaf then leaf_tag else interior_tag);
+            Array.iter (fun it -> push (Chunker.item_hash it)) its)
+          parsed
+      in
+      Array.iteri
+        (fun i (leaf, its) -> Hashtbl.replace by_hash hashes.(i) (leaf, its))
+        parsed;
       !ok
       && List.for_all
            (fun (key, value) ->

@@ -4,27 +4,75 @@ let size = 32
 let equal = String.equal
 let compare = String.compare
 
-let of_string s =
+(* Every digest goes through a per-domain scratch context (reset + feed +
+   finalize) instead of allocating a fresh Sha256.t per call — the batched
+   hot paths (chunk hashing, multiproof assembly) issue millions of these.
+   Two slots, not one: the aggregate ops ([combine]/[combine_feed]/
+   [digest_many]) drive feeders that may themselves call the primitive ops
+   (e.g. memoizing an item's [kv] hash mid-combine), so primitives and
+   aggregates must not share a context.  Feeders must not call the
+   aggregate ops (Scratch contract: same-slot nesting clobbers the
+   in-flight state). *)
+let prim : Sha256.t Scratch.t = Scratch.create Sha256.init
+let agg : Sha256.t Scratch.t = Scratch.create Sha256.init
+
+let prim_digest fill =
   Work.note_hash ();
-  Sha256.digest_string s
+  let c = Scratch.get prim in
+  Sha256.reset c;
+  fill c;
+  Sha256.finalize c
+
+let of_string s = prim_digest (fun c -> Sha256.feed_string c s)
 
 let empty = Sha256.digest_string ""
 
 let leaf data =
-  Work.note_hash ();
-  Sha256.digest_strings [ "\x00"; data ]
+  prim_digest (fun c ->
+      Sha256.feed_string c "\x00";
+      Sha256.feed_string c data)
 
 let interior l r =
-  Work.note_hash ();
-  Sha256.digest_strings [ "\x01"; l; r ]
-
-let combine hs =
-  Work.note_hash ();
-  Sha256.digest_strings ("\x02" :: hs)
+  prim_digest (fun c ->
+      Sha256.feed_string c "\x01";
+      Sha256.feed_string c l;
+      Sha256.feed_string c r)
 
 let kv k v =
+  prim_digest (fun c ->
+      Sha256.feed_string c "\x03";
+      Sha256.feed_string c (string_of_int (String.length k));
+      Sha256.feed_string c "\x00";
+      Sha256.feed_string c k;
+      Sha256.feed_string c v)
+
+let combine_feed fill =
   Work.note_hash ();
-  Sha256.digest_strings [ "\x03"; string_of_int (String.length k); "\x00"; k; v ]
+  let c = Scratch.get agg in
+  Sha256.reset c;
+  Sha256.feed_string c "\x02";
+  fill (fun s -> Sha256.feed_string c s);
+  Sha256.finalize c
+
+let combine hs = combine_feed (fun push -> List.iter push hs)
+
+let digest_many fill inputs =
+  let n = Array.length inputs in
+  Work.note_hash ~n ();
+  let c = Scratch.get agg in
+  Array.map
+    (fun x ->
+      Sha256.reset c;
+      fill x (fun s -> Sha256.feed_string c s);
+      Sha256.finalize c)
+    inputs
+
+let combine_many fill inputs =
+  digest_many
+    (fun x push ->
+      push "\x02";
+      fill x push)
+    inputs
 
 let short h = Hex.encode_prefix ~n:4 h
 let pp fmt h = Format.pp_print_string fmt (short h)

@@ -12,6 +12,7 @@
 type job = {
   run_task : int -> unit;  (* runs task [i]; stores its own result/exn *)
   n : int;
+  claim : int;             (* tasks claimed per atomic op (>= 1) *)
   next : int Atomic.t;     (* next unclaimed task index *)
   completed : int Atomic.t;
 }
@@ -38,8 +39,10 @@ type job_sample = {
   js_tasks : int;
   js_chunk : int;
   js_items : int;
+  js_cost : int;      (* total ~cost units; 0 when no cost hook was given *)
   js_span_s : float;  (* publication -> join, on the submitting domain *)
   js_inline : bool;   (* ran serially on the caller (size 1 / tiny input) *)
+  js_bypass : bool;   (* inline because total cost < the work threshold *)
   js_samples : task_sample array;
 }
 
@@ -75,7 +78,10 @@ type t = {
 let in_task = Domain.DLS.new_key (fun () -> false)
 
 (* Claim and run tasks until the job's counter is exhausted; the domain
-   that completes the last task wakes the submitter. *)
+   that completes the last task wakes the submitter.  Tasks are claimed
+   in runs of [j.claim] per atomic op, so jobs with many small tasks
+   (e.g. [run] over hundreds of thunks) pay one counter bump per run
+   instead of per task. *)
 let drain t j =
   let was = Domain.DLS.get in_task in
   Domain.DLS.set in_task true;
@@ -83,10 +89,15 @@ let drain t j =
     ~finally:(fun () -> Domain.DLS.set in_task was)
     (fun () ->
       let rec go () =
-        let i = Atomic.fetch_and_add j.next 1 in
+        let i = Atomic.fetch_and_add j.next j.claim in
         if i < j.n then begin
-          j.run_task i;
-          if Int.equal (Atomic.fetch_and_add j.completed 1) (j.n - 1) then begin
+          let len = min j.n (i + j.claim) - i in
+          for k = i to i + len - 1 do
+            j.run_task k
+          done;
+          if
+            Int.equal (Atomic.fetch_and_add j.completed len) (j.n - len)
+          then begin
             Mutex.lock t.lock;
             Condition.broadcast t.cond;
             Mutex.unlock t.lock
@@ -150,8 +161,10 @@ let shutdown t =
 (* Publish a job, help drain it, then block until the last task (possibly
    on a worker) completes.  Atomic increments on [completed] order the
    workers' result writes before the submitter's reads. *)
-let run_job t run_task n =
-  let j = { run_task; n; next = Atomic.make 0; completed = Atomic.make 0 } in
+let run_job t run_task n ~claim =
+  let j =
+    { run_task; n; claim; next = Atomic.make 0; completed = Atomic.make 0 }
+  in
   Mutex.lock t.lock;
   t.job <- Some j;
   t.gen <- t.gen + 1;
@@ -170,12 +183,27 @@ type 'b slot =
   | Done of 'b array * Work.task_work
   | Raised of exn * Printexc.raw_backtrace
 
+(* --- small-batch bypass threshold ---
+
+   When a [~cost] hook is supplied, jobs whose total cost falls below this
+   threshold skip the pool entirely (zero task submissions): for tiny
+   batches the publish/wake/join handshake costs more than the work.
+   Process-global because it is a host-tuning knob (Config threads it from
+   [pool_work_threshold]), not a per-call policy. *)
+let work_threshold_a = Atomic.make 65536
+
+let set_work_threshold n =
+  if n < 0 then invalid_arg "Pool.set_work_threshold: threshold must be >= 0";
+  Atomic.set work_threshold_a n
+
+let work_threshold () = Atomic.get work_threshold_a
+
 (* The serial execution, verbatim — no captures, no domains, no locks.
    Under a profiler, a top-level inline map is still timed (that is the
    whole job at pool size 1); nested inline maps from inside a task only
    bump atomic counters on the profiler side, since they run concurrently
    with the submitting domain's bookkeeping. *)
-let inline_map t f arr n =
+let inline_map ?(cost_units = 0) ?(bypass = false) t f arr n =
   match Atomic.get profiler with
   | None -> Array.map f arr
   | Some p ->
@@ -192,102 +220,164 @@ let inline_map t f arr n =
           js_tasks = 1;
           js_chunk = n;
           js_items = n;
+          js_cost = cost_units;
           js_span_s = dt;
           js_inline = true;
+          js_bypass = bypass;
           js_samples =
             [| { ts_domain = Domain.DLS.get domain_index; ts_wait_s = 0.;
                  ts_run_s = dt; ts_items = n } |] };
       out
     end
 
-let parallel_map ?chunk t f arr =
+(* Shared submit/join path over explicit task bounds: task [k] covers
+   items [bounds.(k) .. bounds.(k+1) - 1].  Both the uniform-chunk and the
+   cost-aware paths land here, so the determinism machinery (submission-
+   order result slots, Work capture/absorb) exists exactly once. *)
+let submit_bounded t f arr n ~bounds ~ntasks ~js_chunk ~cost_units =
+  let slots = Array.make ntasks Pending in
+  let run_task k =
+    let lo = bounds.(k) in
+    let len = bounds.(k + 1) - lo in
+    match
+      Work.capture (fun () -> Array.init len (fun i -> f arr.(lo + i)))
+    with
+    | vals, tw -> slots.(k) <- Done (vals, tw)
+    | exception e -> slots.(k) <- Raised (e, Printexc.get_raw_backtrace ())
+  in
+  let prof = Atomic.get profiler in
+  let t0 = match prof with Some p -> p.pr_clock () | None -> 0. in
+  let samples =
+    match prof with
+    | Some _ -> Array.make ntasks null_sample
+    | None -> [||]
+  in
+  let run_task =
+    match prof with
+    | None -> run_task
+    | Some p ->
+      fun k ->
+        let ts = p.pr_clock () in
+        run_task k;
+        let te = p.pr_clock () in
+        samples.(k) <-
+          { ts_domain = Domain.DLS.get domain_index;
+            ts_wait_s = ts -. t0;
+            ts_run_s = te -. ts;
+            ts_items = bounds.(k + 1) - bounds.(k) }
+  in
+  run_job t run_task ntasks ~claim:(max 1 (ntasks / (t.psize * 4)));
+  (match prof with
+   | Some p ->
+     p.pr_on_job
+       { js_pool_size = t.psize;
+         js_tasks = ntasks;
+         js_chunk;
+         js_items = n;
+         js_cost = cost_units;
+         js_span_s = p.pr_clock () -. t0;
+         js_inline = false;
+         js_bypass = false;
+         js_samples = samples }
+   | None -> ());
+  (* Join in submission order: absorb each task's work up to the first
+     raise, so counters match a serial run cut at that point. *)
+  let first_exn = ref None in
+  for k = 0 to ntasks - 1 do
+    if Option.is_none !first_exn then begin
+      match slots.(k) with
+      | Done (_, tw) -> Work.absorb tw
+      | Raised (e, bt) -> first_exn := Some (e, bt)
+      | Pending -> assert false
+    end
+  done;
+  match !first_exn with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None ->
+    let seed =
+      match slots.(0) with
+      | Done (vals, _) -> vals.(0)
+      | Pending | Raised _ -> assert false
+    in
+    let out = Array.make n seed in
+    Array.iteri
+      (fun k slot ->
+        match slot with
+        | Done (vals, _) ->
+          Array.blit vals 0 out bounds.(k) (Array.length vals)
+        | Pending | Raised _ -> assert false)
+      slots;
+    out
+
+let parallel_map ?chunk ?cost t f arr =
+  (match (chunk, cost) with
+   | Some _, Some _ ->
+     invalid_arg "Pool.parallel_map: ~chunk and ~cost are exclusive"
+   | _ -> ());
   let n = Array.length arr in
   if n = 0 then [||]
   else if t.psize = 1 || t.stopped || n < 2 || Domain.DLS.get in_task then
-    inline_map t f arr n
+    match cost with
+    | Some cost_of when not (Domain.DLS.get in_task) ->
+      (* Still charge the declared cost (and classify sub-threshold
+         batches as bypasses) on the serial paths, so the profiler's
+         cost/bypass accounting is pool-size-invariant.  Nested maps
+         skip it: a task's inner map must stay zero-overhead. *)
+      let total = Array.fold_left (fun acc x -> acc + cost_of x) 0 arr in
+      inline_map ~cost_units:total
+        ~bypass:(total < Atomic.get work_threshold_a) t f arr n
+    | _ -> inline_map t f arr n
   else begin
-    let chunk =
-      match chunk with
-      | Some c when c >= 1 -> c
-      | Some _ -> invalid_arg "Pool.parallel_map: chunk must be >= 1"
-      | None -> max 1 (n / (t.psize * 4))
-    in
-    let ntasks = (n + chunk - 1) / chunk in
-    if ntasks < 2 then inline_map t f arr n
-    else begin
-      let slots = Array.make ntasks Pending in
-      let run_task k =
-        let lo = k * chunk in
-        let len = min n (lo + chunk) - lo in
-        match
-          Work.capture (fun () -> Array.init len (fun i -> f arr.(lo + i)))
-        with
-        | vals, tw -> slots.(k) <- Done (vals, tw)
-        | exception e -> slots.(k) <- Raised (e, Printexc.get_raw_backtrace ())
+    match cost with
+    | None ->
+      let chunk =
+        match chunk with
+        | Some c when c >= 1 -> c
+        | Some _ -> invalid_arg "Pool.parallel_map: chunk must be >= 1"
+        | None -> max 1 (n / (t.psize * 4))
       in
-      let prof = Atomic.get profiler in
-      let t0 = match prof with Some p -> p.pr_clock () | None -> 0. in
-      let samples =
-        match prof with
-        | Some _ -> Array.make ntasks null_sample
-        | None -> [||]
-      in
-      let run_task =
-        match prof with
-        | None -> run_task
-        | Some p ->
-          fun k ->
-            let ts = p.pr_clock () in
-            run_task k;
-            let te = p.pr_clock () in
-            let lo = k * chunk in
-            samples.(k) <-
-              { ts_domain = Domain.DLS.get domain_index;
-                ts_wait_s = ts -. t0;
-                ts_run_s = te -. ts;
-                ts_items = min n (lo + chunk) - lo }
-      in
-      run_job t run_task ntasks;
-      (match prof with
-       | Some p ->
-         p.pr_on_job
-           { js_pool_size = t.psize;
-             js_tasks = ntasks;
-             js_chunk = chunk;
-             js_items = n;
-             js_span_s = p.pr_clock () -. t0;
-             js_inline = false;
-             js_samples = samples }
-       | None -> ());
-      (* Join in submission order: absorb each task's work up to the first
-         raise, so counters match a serial run cut at that point. *)
-      let first_exn = ref None in
-      for k = 0 to ntasks - 1 do
-        if Option.is_none !first_exn then begin
-          match slots.(k) with
-          | Done (_, tw) -> Work.absorb tw
-          | Raised (e, bt) -> first_exn := Some (e, bt)
-          | Pending -> assert false
-        end
-      done;
-      match !first_exn with
-      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
-      | None ->
-        let seed =
-          match slots.(0) with
-          | Done (vals, _) -> vals.(0)
-          | Pending | Raised _ -> assert false
+      let ntasks = (n + chunk - 1) / chunk in
+      if ntasks < 2 then inline_map t f arr n
+      else begin
+        let bounds =
+          Array.init (ntasks + 1) (fun k -> min n (k * chunk))
         in
-        let out = Array.make n seed in
-        Array.iteri
-          (fun k slot ->
-            match slot with
-            | Done (vals, _) ->
-              Array.blit vals 0 out (k * chunk) (Array.length vals)
-            | Pending | Raised _ -> assert false)
-          slots;
-        out
-    end
+        submit_bounded t f arr n ~bounds ~ntasks ~js_chunk:chunk
+          ~cost_units:0
+      end
+    | Some cost_of ->
+      (* Cost-aware granularity: size tasks by declared work (e.g. bytes
+         to hash), not item count, so one huge item no longer rides in
+         the same task as a run of tiny ones.  Each task greedily takes
+         items until it holds at least [quantum] cost units. *)
+      let costs = Array.map cost_of arr in
+      let total = Array.fold_left ( + ) 0 costs in
+      let threshold = Atomic.get work_threshold_a in
+      if total < threshold then
+        inline_map ~cost_units:total ~bypass:true t f arr n
+      else begin
+        let quantum = max 1 (max threshold (total / (t.psize * 8))) in
+        let bounds_buf = Array.make (n + 1) 0 in
+        let ntasks = ref 0 in
+        let i = ref 0 in
+        while !i < n do
+          bounds_buf.(!ntasks) <- !i;
+          incr ntasks;
+          let acc = ref 0 in
+          while !i < n && !acc < quantum do
+            acc := !acc + costs.(!i);
+            incr i
+          done
+        done;
+        let ntasks = !ntasks in
+        bounds_buf.(ntasks) <- n;
+        if ntasks < 2 then inline_map ~cost_units:total t f arr n
+        else begin
+          let bounds = Array.sub bounds_buf 0 (ntasks + 1) in
+          submit_bounded t f arr n ~bounds ~ntasks
+            ~js_chunk:((n + ntasks - 1) / ntasks) ~cost_units:total
+        end
+      end
   end
 
 let run t thunks =

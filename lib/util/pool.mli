@@ -45,11 +45,35 @@ val run : t -> (unit -> 'a) list -> 'a list
     re-raised after the join; work of tasks before it is absorbed, work
     after it is dropped. *)
 
-val parallel_map : ?chunk:int -> t -> ('a -> 'b) -> 'a array -> 'b array
-(** Map [f] over the array with tasks of [chunk] consecutive elements
-    (default: input size / 4×workers, at least 1).  Element results land at
-    their input indices; equal to [Array.map f] including {!Work}
-    accounting. *)
+val parallel_map :
+  ?chunk:int -> ?cost:('a -> int) -> t -> ('a -> 'b) -> 'a array -> 'b array
+(** Map [f] over the array in tasks of consecutive elements.  Element
+    results land at their input indices; equal to [Array.map f] including
+    {!Work} accounting, at every pool size.
+
+    Granularity is picked one of two ways (the arguments are mutually
+    exclusive; supplying both raises [Invalid_argument]):
+    - [~chunk]: fixed tasks of [chunk] elements (default: input size /
+      4×workers, at least 1) — right when items cost about the same;
+    - [~cost]: per-item work estimate in arbitrary units (canonically
+      bytes to hash).  Tasks greedily take consecutive items until they
+      hold at least a fixed quantum of units ([max threshold (total /
+      8×pool size)]), so a run of tiny items shares a task while a huge
+      item gets its own.  When the batch's total cost falls below the
+      process-wide {!work_threshold}, the pool is bypassed entirely —
+      zero task submissions, serial execution on the caller (reported to
+      the profiler with [js_bypass = true]).
+
+    The [cost] hook is called once per element before submission; it must
+    be pure and must not depend on pool size. *)
+
+val set_work_threshold : int -> unit
+(** Set the small-batch bypass threshold (cost units; default 65536).
+    [Config.pool_work_threshold] threads this from the deployment
+    description.  [>= 0]; raises [Invalid_argument] otherwise. *)
+
+val work_threshold : unit -> int
+(** Current small-batch bypass threshold. *)
 
 (** {2 The process-global pool}
 
@@ -91,10 +115,12 @@ type task_sample = {
 type job_sample = {
   js_pool_size : int;
   js_tasks : int;
-  js_chunk : int;
+  js_chunk : int;     (** items per task (average, for cost-sized jobs) *)
   js_items : int;
+  js_cost : int;      (** total declared cost; 0 without a [~cost] hook *)
   js_span_s : float;  (** publication -> join *)
   js_inline : bool;   (** ran serially on the caller *)
+  js_bypass : bool;   (** inline because total cost < {!work_threshold} *)
   js_samples : task_sample array;
 }
 

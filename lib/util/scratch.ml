@@ -1,0 +1,12 @@
+(* Per-domain scratch slots: the one sanctioned wrapper around
+   Domain.DLS for reusable working buffers (racecheck rule R004 confines
+   ambient DLS keys to lib/util/{pool,work,scratch}).  A slot's value is
+   task-local by construction — every domain lazily builds its own — so
+   holders need no locks and the pool's determinism contract is
+   untouched as long as the value never escapes the computation that
+   fetched it. *)
+
+type 'a t = 'a Domain.DLS.key
+
+let create mk = Domain.DLS.new_key mk
+let get slot = Domain.DLS.get slot

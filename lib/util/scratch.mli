@@ -1,0 +1,33 @@
+(** Per-domain scratch values for allocation-free hot paths.
+
+    A scratch slot holds one lazily-created value per domain (backed by
+    [Domain.DLS]): hashing contexts, serialization buffers and similar
+    working state are fetched with {!get}, used, and left behind for the
+    next call on the same domain.  Because every domain owns its value
+    outright, no synchronization is needed and racecheck classifies
+    scratch roots as per-domain (the R001 task-local tier).
+
+    Contract (the price of lock-freedom):
+    - the value fetched by {!get} must not escape the dynamic extent of
+      the computation that fetched it — derive an immutable result (e.g.
+      [Buffer.contents]) and drop the reference;
+    - a computation holding a scratch value must not call other code
+      that fetches the *same* slot (the value would be clobbered
+      mid-use); distinct slots nest freely;
+    - scratch values must carry no cross-call semantic state: any
+      domain's value must be observationally equivalent to a fresh one,
+      so results stay byte-identical at every pool size.
+
+    This module is the sanctioned home of the pattern: ambient
+    [Domain.DLS] use anywhere else in lib/ is flagged by racecheck rule
+    R004. *)
+
+type 'a t
+(** A slot holding one ['a] per domain. *)
+
+val create : (unit -> 'a) -> 'a t
+(** [create mk] declares a slot; [mk] builds a domain's value on its
+    first {!get}.  Call at module initialization, not per use. *)
+
+val get : 'a t -> 'a
+(** The calling domain's value, created on first use. *)

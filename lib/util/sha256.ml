@@ -22,13 +22,38 @@ type t = {
   mutable fill : int;        (* bytes currently buffered *)
   mutable total : int64;     (* total message length in bytes *)
   w : int32 array;           (* 64-entry message schedule, reused *)
+  mutable finalized : bool;  (* digest produced; reset before reuse *)
 }
 
+(* The FIPS 180-4 initial hash values are written out in both [init] and
+   [reset] rather than kept in a shared module-level array: a context's
+   state stays fully context-local, so reused contexts in per-domain
+   scratch slots touch no shared mutable root. *)
+let set_iv (h : int32 array) =
+  h.(0) <- 0x6a09e667l;
+  h.(1) <- 0xbb67ae85l;
+  h.(2) <- 0x3c6ef372l;
+  h.(3) <- 0xa54ff53al;
+  h.(4) <- 0x510e527fl;
+  h.(5) <- 0x9b05688cl;
+  h.(6) <- 0x1f83d9abl;
+  h.(7) <- 0x5be0cd19l
+
 let init () =
-  { h = [| 0x6a09e667l; 0xbb67ae85l; 0x3c6ef372l; 0xa54ff53al;
-           0x510e527fl; 0x9b05688cl; 0x1f83d9abl; 0x5be0cd19l |];
-    block = Bytes.create 64; fill = 0; total = 0L;
-    w = Array.make 64 0l }
+  let h = Array.make 8 0l in
+  set_iv h;
+  { h; block = Bytes.create 64; fill = 0; total = 0L;
+    w = Array.make 64 0l; finalized = false }
+
+let reset t =
+  set_iv t.h;
+  t.fill <- 0;
+  t.total <- 0L;
+  t.finalized <- false
+
+let check_fresh t =
+  if t.finalized then
+    invalid_arg "Sha256: context already finalized (reset before reuse)"
 
 let ( &&& ) = Int32.logand
 let ( ||| ) = Int32.logor
@@ -77,6 +102,7 @@ let compress t =
   t.h.(6) <- t.h.(6) +% !g; t.h.(7) <- t.h.(7) +% !h'
 
 let feed_bytes t ?(off = 0) ?len src =
+  check_fresh t;
   let len = match len with Some l -> l | None -> Bytes.length src - off in
   if off < 0 || len < 0 || off + len > Bytes.length src then
     invalid_arg "Sha256.feed_bytes";
@@ -94,7 +120,10 @@ let feed_bytes t ?(off = 0) ?len src =
 
 let feed_string t s = feed_bytes t (Bytes.unsafe_of_string s)
 
-let finalize t =
+let digest_into t buf off =
+  check_fresh t;
+  if off < 0 || off + 32 > Bytes.length buf then
+    invalid_arg "Sha256.digest_into";
   let bitlen = Int64.mul t.total 8L in
   (* Append 0x80, pad with zeros to 56 mod 64, then 8-byte big-endian length. *)
   Bytes.set t.block t.fill '\x80';
@@ -111,15 +140,19 @@ let finalize t =
       (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical bitlen shift) 0xFFL)))
   done;
   compress t;
-  let out = Bytes.create 32 in
   for i = 0 to 7 do
     let v = t.h.(i) in
     let byte n = Char.chr (Int32.to_int (shr v (24 - 8*n) &&& 0xFFl)) in
-    Bytes.set out (4*i) (byte 0);
-    Bytes.set out (4*i + 1) (byte 1);
-    Bytes.set out (4*i + 2) (byte 2);
-    Bytes.set out (4*i + 3) (byte 3)
+    Bytes.set buf (off + 4*i) (byte 0);
+    Bytes.set buf (off + 4*i + 1) (byte 1);
+    Bytes.set buf (off + 4*i + 2) (byte 2);
+    Bytes.set buf (off + 4*i + 3) (byte 3)
   done;
+  t.finalized <- true
+
+let finalize t =
+  let out = Bytes.create 32 in
+  digest_into t out 0;
   Bytes.unsafe_to_string out
 
 let digest_string s =

@@ -1,0 +1,10 @@
+(* Fixture: R004 positive — minting an ambient Domain.DLS key for a
+   reusable scratch buffer instead of going through the sanctioned
+   Glassdb_util.Scratch wrapper. *)
+let buf = Domain.DLS.new_key (fun () -> Buffer.create 256)
+
+let render k =
+  let b = Domain.DLS.get buf in
+  Buffer.clear b;
+  Buffer.add_string b k;
+  Buffer.contents b

@@ -154,7 +154,7 @@ let test_contention_deterministic () =
 let doc wall =
   Bench1.(
     Obj
-      [ ("schema", Str "glassdb.bench5/v3");
+      [ ("schema", Str "glassdb.bench5/v4");
         ("stages",
          Arr
            [ Obj

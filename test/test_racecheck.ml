@@ -73,6 +73,19 @@ let test_rule_ids () =
   Alcotest.(check (list string)) "r004" [ "R004"; "R004" ]
     (rules_of [ "r004_pos.ml" ])
 
+(* The Scratch pattern from this PR: slots created through
+   Glassdb_util.Scratch are per-domain by construction (classified into
+   the R001 task-local tier), while hand-rolled ambient DLS scratch
+   buffers stay R004 violations. *)
+let test_scratch_tier () =
+  Alcotest.(check (list string))
+    "Scratch-held buffer mutated from a pooled task is clean" []
+    (rules_of [ "r001_scratch_neg.ml" ]);
+  Alcotest.(check (list string))
+    "ambient DLS scratch buffer flagged at mint and at use"
+    [ "R004"; "R004" ]
+    (rules_of [ "r004_scratch_pos.ml" ])
+
 let test_parse_error () =
   let a =
     Racecheck_engine.analyze ~lockorder:Racecheck_engine.empty_lockorder
@@ -260,6 +273,7 @@ let () =
           Alcotest.test_case "every rule fixtured" `Quick
             test_every_rule_fixtured;
           Alcotest.test_case "rule ids" `Quick test_rule_ids;
+          Alcotest.test_case "scratch tier" `Quick test_scratch_tier;
           Alcotest.test_case "parse error" `Quick test_parse_error ] );
       ( "lockorder",
         [ Alcotest.test_case "transitive closure" `Quick test_lockorder_closure;

@@ -57,6 +57,65 @@ let prop_incremental_matches_oneshot =
       Sha256.feed_string t b;
       String.equal (Sha256.finalize t) (Sha256.digest_string (a ^ b)))
 
+let stale_ctx =
+  Invalid_argument "Sha256: context already finalized (reset before reuse)"
+
+let test_sha_reset_reuse () =
+  (* One context through many digests: every reset must behave exactly
+     like a fresh init, including messages spanning >1 block and the
+     empty message. *)
+  let t = Sha256.init () in
+  List.iter
+    (fun s ->
+      Sha256.reset t;
+      Sha256.feed_string t s;
+      Alcotest.(check string)
+        (Printf.sprintf "reused ctx, len %d" (String.length s))
+        (Hex.encode (Sha256.digest_string s))
+        (Hex.encode (Sha256.finalize t)))
+    [ "abc"; ""; String.make 200 'x'; "abc";
+      String.init 1000 (fun i -> Char.chr (i land 0xff)) ]
+
+let test_sha_use_after_finalize () =
+  (* The single-use footgun: feeding or re-finalizing a finalized context
+     must raise instead of silently producing a digest of stale state. *)
+  let t = Sha256.init () in
+  Sha256.feed_string t "abc";
+  ignore (Sha256.finalize t);
+  Alcotest.check_raises "feed after finalize" stale_ctx (fun () ->
+      Sha256.feed_string t "x");
+  Alcotest.check_raises "double finalize" stale_ctx (fun () ->
+      ignore (Sha256.finalize t));
+  (* reset clears the poisoned state *)
+  Sha256.reset t;
+  Sha256.feed_string t "abc";
+  Alcotest.(check string) "reset clears the guard"
+    (Hex.encode (Sha256.digest_string "abc"))
+    (Hex.encode (Sha256.finalize t))
+
+let test_sha_digest_into () =
+  let t = Sha256.init () in
+  Sha256.feed_string t "abc";
+  let buf = Bytes.make 40 '\xff' in
+  Sha256.digest_into t buf 5;
+  Alcotest.(check string) "digest written at offset"
+    (Hex.encode (Sha256.digest_string "abc"))
+    (Hex.encode (Bytes.sub_string buf 5 32));
+  Alcotest.(check string) "bytes before the offset untouched"
+    (String.make 5 '\xff') (Bytes.sub_string buf 0 5);
+  Alcotest.(check string) "bytes after the digest untouched"
+    (String.make 3 '\xff') (Bytes.sub_string buf 37 3);
+  let bounds = Invalid_argument "Sha256.digest_into" in
+  let fresh () =
+    let t = Sha256.init () in
+    Sha256.feed_string t "abc";
+    t
+  in
+  Alcotest.check_raises "negative offset" bounds (fun () ->
+      Sha256.digest_into (fresh ()) (Bytes.create 32) (-1));
+  Alcotest.check_raises "overflowing offset" bounds (fun () ->
+      Sha256.digest_into (fresh ()) (Bytes.create 32) 1)
+
 (* --- Hex --- *)
 
 let prop_hex_roundtrip =
@@ -86,6 +145,44 @@ let test_hash_kv_unambiguous () =
   (* ("ab","c") must differ from ("a","bc"): the length prefix matters. *)
   Alcotest.(check bool) "kv not concat-ambiguous" false
     (Hash.equal (Hash.kv "ab" "c") (Hash.kv "a" "bc"))
+
+let test_hash_combine_feed () =
+  let frags = [ "alpha"; ""; "beta"; String.make 100 'z' ] in
+  Alcotest.(check string) "combine_feed = combine"
+    (Hex.encode (Hash.combine frags))
+    (Hex.encode (Hash.combine_feed (fun push -> List.iter push frags)));
+  (* Feeders may call the primitive ops mid-stream (the memoized item-hash
+     pattern): primitives and aggregates use separate scratch contexts. *)
+  Alcotest.(check string) "primitive calls inside a feeder are safe"
+    (Hex.encode (Hash.combine [ Hash.leaf "a"; Hash.kv "k" "v" ]))
+    (Hex.encode
+       (Hash.combine_feed (fun push ->
+            push (Hash.leaf "a");
+            push (Hash.kv "k" "v"))))
+
+let test_hash_digest_many () =
+  let inputs = Array.init 17 (fun i -> String.make i 'q') in
+  (* Byte-for-byte equal to the serial one-context-per-input digests, and
+     Work charges one hash per input either way. *)
+  let serial, sw =
+    Work.measure (fun () -> Array.map Hash.of_string inputs)
+  in
+  let batched, bw =
+    Work.measure (fun () -> Hash.digest_many (fun s push -> push s) inputs)
+  in
+  Alcotest.(check (array string)) "digest_many = serial digests"
+    (Array.map Hex.encode serial) (Array.map Hex.encode batched);
+  Alcotest.(check int) "identical hash accounting" sw.Work.hashes
+    bw.Work.hashes;
+  let pairs = [| ("a", "1"); ("bb", "22"); ("", "") |] in
+  Alcotest.(check (array string)) "combine_many = per-input combines"
+    (Array.map (fun (x, y) -> Hex.encode (Hash.combine [ x; y ])) pairs)
+    (Array.map Hex.encode
+       (Hash.combine_many
+          (fun (x, y) push ->
+            push x;
+            push y)
+          pairs))
 
 (* --- Codec --- *)
 
@@ -379,6 +476,55 @@ let test_pool_map_matches_serial () =
             (Pool.parallel_map ~chunk p f input))
         [ 1; 7; 100; 1000 ])
 
+let test_pool_cost_map () =
+  (* Cost-aware granularity: results and Work accounting must equal the
+     serial map at every pool size and threshold — whether the batch
+     splits by quantum, lands in one task, or bypasses the pool. *)
+  let input = Array.init 101 (fun i -> String.make (i * 13 mod 64) 'x') in
+  let f s =
+    ignore (Hash.of_string s);
+    String.length s
+  in
+  let expected, serial_work = Work.measure (fun () -> Array.map f input) in
+  let saved = Pool.work_threshold () in
+  Fun.protect
+    ~finally:(fun () -> Pool.set_work_threshold saved)
+    (fun () ->
+      List.iter
+        (fun threshold ->
+          Pool.set_work_threshold threshold;
+          List.iter
+            (fun n ->
+              with_pool n (fun p ->
+                  let got, work =
+                    Work.measure (fun () ->
+                        Pool.parallel_map ~cost:String.length p f input)
+                  in
+                  Alcotest.(check (array int))
+                    (Printf.sprintf "size %d threshold %d" n threshold)
+                    expected got;
+                  Alcotest.(check int)
+                    (Printf.sprintf "hashes at size %d threshold %d" n
+                       threshold)
+                    serial_work.Work.hashes work.Work.hashes))
+            [ 1; 2; 4 ])
+        [ 0; 64; 1_000_000 ]);
+  Alcotest.check_raises "chunk and cost are exclusive"
+    (Invalid_argument "Pool.parallel_map: ~chunk and ~cost are exclusive")
+    (fun () ->
+      with_pool 2 (fun p ->
+          ignore (Pool.parallel_map ~chunk:1 ~cost:String.length p f input)))
+
+let test_pool_run_claim_batching () =
+  (* Many more tasks than domains: drain claims runs of tasks per atomic
+     op, and results must still come back in submission order. *)
+  with_pool 4 (fun p ->
+      let n = 200 in
+      Alcotest.(check (list int))
+        "claimed runs preserve order"
+        (List.init n Fun.id)
+        (Pool.run p (List.init n (fun i () -> i))))
+
 let test_pool_run_order () =
   with_pool 4 (fun p ->
       Alcotest.(check (list string))
@@ -486,14 +632,23 @@ let () =
     [ ("sha256",
        [ Alcotest.test_case "FIPS vectors" `Quick test_sha_vectors;
          Alcotest.test_case "padding boundaries" `Quick test_sha_padding_boundaries;
-         Alcotest.test_case "hmac RFC4231" `Quick test_hmac_vectors ]
+         Alcotest.test_case "hmac RFC4231" `Quick test_hmac_vectors;
+         Alcotest.test_case "reset reuses the context" `Quick
+           test_sha_reset_reuse;
+         Alcotest.test_case "use after finalize raises" `Quick
+           test_sha_use_after_finalize;
+         Alcotest.test_case "digest_into offsets and bounds" `Quick
+           test_sha_digest_into ]
        @ qsuite [ prop_incremental_matches_oneshot ]);
       ("hex",
        [ Alcotest.test_case "invalid input" `Quick test_hex_invalid ]
        @ qsuite [ prop_hex_roundtrip ]);
       ("hash",
        [ Alcotest.test_case "domain separation" `Quick test_hash_domain_separation;
-         Alcotest.test_case "kv unambiguous" `Quick test_hash_kv_unambiguous ]);
+         Alcotest.test_case "kv unambiguous" `Quick test_hash_kv_unambiguous;
+         Alcotest.test_case "combine_feed streams" `Quick
+           test_hash_combine_feed;
+         Alcotest.test_case "batched digests" `Quick test_hash_digest_many ]);
       ("codec",
        [ Alcotest.test_case "malformed input" `Quick test_codec_malformed;
          Alcotest.test_case "trailing bytes" `Quick test_codec_trailing ]
@@ -525,6 +680,10 @@ let () =
        [ Alcotest.test_case "measure" `Quick test_work_measure ]);
       ("pool",
        [ Alcotest.test_case "map matches serial" `Quick test_pool_map_matches_serial;
+         Alcotest.test_case "cost-aware map matches serial" `Quick
+           test_pool_cost_map;
+         Alcotest.test_case "claim batching preserves order" `Quick
+           test_pool_run_claim_batching;
          Alcotest.test_case "run preserves order" `Quick test_pool_run_order;
          Alcotest.test_case "exception propagation" `Quick test_pool_exception;
          Alcotest.test_case "work counter merge" `Quick test_pool_work_merge;

@@ -17,7 +17,7 @@ let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("benchdiff-smoke: FAILED
 
 let doc ~wall ~speedup ~cores ~extra_field =
   Obj
-    ([ ("schema", Str "glassdb.bench5/v3");
+    ([ ("schema", Str "glassdb.bench5/v4");
        ("host_cores", Num cores);
        ("stages",
         Arr

@@ -251,6 +251,13 @@ let rec classify_ctor ~mutable_fields (e : Parsetree.expression) =
     if List.mem name mutable_ctor_idents then Some Plain
     else if String.equal name "Atomic.make" then Some Atomic
     else if String.equal name "Domain.DLS.new_key" then Some Dls
+    else if
+      (* Glassdb_util.Scratch wraps Domain.DLS: scratch slots are
+         per-domain by construction (the R001 task-local tier). *)
+      match last_two name with
+      | Some ("Scratch", "create") -> true
+      | _ -> false
+    then Some Dls
     else None
   | Pexp_record (fields, _) ->
     if

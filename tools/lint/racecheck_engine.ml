@@ -43,7 +43,7 @@ let rules =
     ("R004",
      "Domain.DLS state merges only via the Work capture/absorb protocol: \
       no ambient DLS keys and no cross-domain Work counter reads outside \
-      lib/util/{pool,work}") ]
+      lib/util/{pool,work,scratch}") ]
 
 let rule_ids = List.map fst rules
 
@@ -51,6 +51,15 @@ let rule_ids = List.map fst rules
 
 let sanctioned_pool shown = String.equal (Filename.basename shown) "pool.ml"
 let sanctioned_work shown = String.equal (Filename.basename shown) "work.ml"
+
+(* Ambient DLS keys are additionally sanctioned in scratch.ml: Scratch is
+   the library-wide wrapper for per-domain scratch values (reusable hash
+   contexts, serialization buffers), and everything else must go through
+   it rather than mint its own keys. *)
+let sanctioned_dls shown =
+  match Filename.basename shown with
+  | "work.ml" | "scratch.ml" -> true
+  | _ -> false
 
 (* --- blocking / protocol identifier classification --- *)
 
@@ -415,11 +424,13 @@ let analyze ~lockorder (sources : source list) =
                  "%s outside lib/util/pool: per-domain Work state merges \
                   only inside the pool join (capture/absorb protocol)"
                  name)
-          else if is_dls_ident name then
+          else if is_dls_ident name && not (sanctioned_dls sm.m_file) then
             add sm e.e_pos "R004"
               (Printf.sprintf
                  "ambient Domain.DLS use %s; per-domain state belongs to \
-                  lib/util/{pool,work} and merges via capture/absorb"
+                  lib/util/{pool,work,scratch} and merges via \
+                  capture/absorb (use Glassdb_util.Scratch for reusable \
+                  per-domain buffers)"
                  name)
           else if pooled && is_work_read name then
             add sm e.e_pos "R004"
